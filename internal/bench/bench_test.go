@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func tiny(p Protocol) Scenario {
+	return Scenario{
+		Protocol: p, Clusters: 2, PerCluster: 4,
+		Warmup: 300 * time.Millisecond, Measure: time.Second,
+		Outstanding: 64,
+	}
+}
+
+func TestRunAllProtocolsProduceThroughput(t *testing.T) {
+	for _, p := range AllProtocols {
+		res := Run(tiny(p))
+		if res.Throughput <= 0 {
+			t.Errorf("%s: zero throughput", p)
+		}
+		if res.Latency.Count == 0 {
+			t.Errorf("%s: no latency samples", p)
+		}
+		if res.Messages.LocalMsgs == 0 {
+			t.Errorf("%s: no local traffic recorded", p)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(tiny(GeoBFT))
+	b := Run(tiny(GeoBFT))
+	if a.Throughput != b.Throughput || a.Events != b.Events {
+		t.Errorf("same seed diverged: (%f, %d) vs (%f, %d)",
+			a.Throughput, a.Events, b.Throughput, b.Events)
+	}
+	c := Run(Scenario{Protocol: GeoBFT, Clusters: 2, PerCluster: 4,
+		Warmup: 300 * time.Millisecond, Measure: time.Second, Outstanding: 64, Seed: 99})
+	if c.Events == a.Events {
+		t.Log("different seeds produced identical event counts (possible but unlikely)")
+	}
+}
+
+func TestGeoBFTBeatsPBFTAtScale(t *testing.T) {
+	// The paper's headline: at several clusters, GeoBFT clearly outperforms
+	// PBFT (Sections 4.1-4.4).
+	geo := Run(Scenario{Protocol: GeoBFT, Clusters: 4, PerCluster: 7,
+		Warmup: time.Second, Measure: 2 * time.Second})
+	pbftRes := Run(Scenario{Protocol: PBFT, Clusters: 4, PerCluster: 7,
+		Warmup: time.Second, Measure: 2 * time.Second})
+	if geo.Throughput < 2*pbftRes.Throughput {
+		t.Errorf("GeoBFT %.0f vs PBFT %.0f: expected ≥ 2×", geo.Throughput, pbftRes.Throughput)
+	}
+}
+
+func TestZyzzyvaCollapsesUnderFailure(t *testing.T) {
+	ok := Run(Scenario{Protocol: Zyzzyva, Clusters: 2, PerCluster: 4,
+		Warmup: time.Second, Measure: 2 * time.Second})
+	fail := Run(Scenario{Protocol: Zyzzyva, Clusters: 2, PerCluster: 4,
+		CrashBackups: 1, Warmup: time.Second, Measure: 2 * time.Second})
+	if fail.Throughput > ok.Throughput/4 {
+		t.Errorf("Zyzzyva under failure %.0f vs %.0f: expected collapse", fail.Throughput, ok.Throughput)
+	}
+}
+
+func TestFanoutAblationTrafficGrows(t *testing.T) {
+	opt := Run(tiny(GeoBFT))
+	all := Run(Scenario{Protocol: GeoBFT, Clusters: 2, PerCluster: 4,
+		Warmup: 300 * time.Millisecond, Measure: time.Second, Outstanding: 64, Fanout: 4})
+	perBatchOpt := float64(opt.Messages.GlobalMsgs) / float64(opt.Batches)
+	perBatchAll := float64(all.Messages.GlobalMsgs) / float64(all.Batches)
+	if perBatchAll <= perBatchOpt {
+		t.Errorf("fanout n per-batch global msgs %.1f not above f+1's %.1f", perBatchAll, perBatchOpt)
+	}
+}
+
+func TestTable1CalibratedWithinTolerance(t *testing.T) {
+	rows := Table1()
+	for _, r := range rows {
+		gotMS := float64(r.RTT.Microseconds()) / 1000
+		if r.From == r.To {
+			if gotMS > 2 {
+				t.Errorf("%v-%v RTT %.2f ms, want ≤ 1-2 ms", r.From, r.To, gotMS)
+			}
+			continue
+		}
+		// Within 15% of the paper's RTT (jitter disabled in the probe).
+		if gotMS < r.PaperRTTms*0.85 || gotMS > r.PaperRTTms*1.15 {
+			t.Errorf("%v-%v RTT %.1f ms, paper %.1f ms", r.From, r.To, gotMS, r.PaperRTTms)
+		}
+		// Bandwidth within 25% (uplink cap can shave the intra-region rate).
+		want := r.PaperMbit
+		if want > 1000 {
+			want = 1000 // per-VM egress cap applies
+		}
+		if r.BandwidthMbit < want*0.7 || r.BandwidthMbit > want*1.3 {
+			t.Errorf("%v-%v bandwidth %.0f Mbit/s, want ≈ %.0f", r.From, r.To, r.BandwidthMbit, want)
+		}
+	}
+}

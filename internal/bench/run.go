@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/core"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/hotstuff"
+	"resilientdb/internal/metrics"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/steward"
+	"resilientdb/internal/types"
+	"resilientdb/internal/ycsb"
+	"resilientdb/internal/zyzzyva"
+)
+
+// BenchCosts is the CPU cost model used by all experiments. It reflects the
+// paper's single-machine profile (Crypto++ on 8-core Skylake, a pipelined
+// but per-stage sequential implementation): signature work dominates, and
+// every sent or received message pays a fixed marshalling + MAC cost.
+func BenchCosts() crypto.Costs {
+	return crypto.Costs{
+		Sign:      50 * time.Microsecond,
+		Verify:    150 * time.Microsecond,
+		MAC:       15 * time.Microsecond,
+		VerifyMAC: 15 * time.Microsecond,
+		HashPerKB: 3 * time.Microsecond,
+		ExecTxn:   2 * time.Microsecond,
+	}
+}
+
+// Run executes one scenario and returns its measurements.
+func Run(s Scenario) Result {
+	s = s.withDefaults()
+	topo := config.NewTopology(s.Clusters, s.PerCluster)
+	prof := config.GoogleCloudProfile(s.Clusters)
+	net := simnet.New(simnet.Options{
+		Profile: prof,
+		Seed:    s.Seed,
+		Mode:    crypto.Fast,
+		Costs:   BenchCosts(),
+		// Wider delivery spread than the default: quorum waits then feel
+		// the loss of fast spare replicas, the effect behind the moderate
+		// throughput reduction under f failures (Section 4.3).
+		JitterFrac: 0.25,
+	})
+	collector := metrics.NewCollector(s.Warmup, s.Warmup+s.Measure)
+	net.TraceSend = func(_, _ types.NodeID, _ types.Message, size int, sameRegion bool) {
+		if now := net.Now(); now >= s.Warmup && now < s.Warmup+s.Measure {
+			collector.RecordSend(sameRegion, size)
+		}
+	}
+
+	b := build(s, topo, net, collector)
+
+	// Crash backups at time zero (highest local indices; never the primary
+	// or site representative at local index 0).
+	for c := 0; c < s.Clusters; c++ {
+		for k := 0; k < s.CrashBackups && k < s.PerCluster-1; k++ {
+			net.Crash(topo.ReplicaID(c, s.PerCluster-1-k))
+		}
+	}
+
+	net.Start()
+
+	// Primary crash after the configured number of executed transactions
+	// (paper Section 4.3: 900), detected by polling a surviving replica.
+	if s.CrashPrimary && b.watchExec != nil {
+		var poll func()
+		crashed := false
+		poll = func() {
+			if !crashed && b.watchExec() >= uint64(s.CrashAfterTxns) {
+				crashed = true
+				net.Crash(b.primary)
+				return
+			}
+			if !crashed {
+				net.At(net.Now()+20*time.Millisecond, b.primary, poll)
+			}
+		}
+		net.At(0, b.primary, poll)
+	}
+
+	net.RunUntil(s.Warmup + s.Measure)
+
+	return Result{
+		Scenario:   s,
+		Throughput: collector.Throughput(s.Warmup + s.Measure),
+		Latency:    collector.Latency(),
+		Messages:   collector.Messages(),
+		Batches:    collector.Batches(),
+		Events:     net.Events(),
+	}
+}
+
+// built carries protocol-specific hooks out of the wiring step.
+type built struct {
+	primary   types.NodeID
+	watchExec func() uint64
+}
+
+func build(s Scenario, topo config.Topology, net *simnet.Network, collector *metrics.Collector) built {
+	checkpointBatches := uint64(s.CheckpointTxns / s.BatchSize)
+	if checkpointBatches == 0 {
+		checkpointBatches = 1
+	}
+	perWindow := s.Outstanding / s.ClientNodes
+	if perWindow == 0 {
+		perWindow = 1
+	}
+
+	switch s.Protocol {
+	case GeoBFT:
+		reps := make(map[types.NodeID]*core.Replica)
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster; i++ {
+				id := topo.ReplicaID(c, i)
+				rep := core.NewReplica(core.Config{
+					Topo: topo, Self: id, Records: s.Records,
+					CheckpointInterval: checkpointBatches,
+					Fanout:             s.Fanout,
+					PipelineDepth:      pipelineDepth(s),
+					ClientCluster: func(cl types.NodeID) int {
+						return int(cl-types.ClientIDBase) % s.Clusters
+					},
+				})
+				reps[id] = rep
+				net.AddNode(id, c, rep)
+			}
+		}
+		for i := 0; i < s.ClientNodes; i++ {
+			cluster := i % s.Clusters
+			cl := &quorumClient{
+				targets:      []types.NodeID{topo.ReplicaID(cluster, 0)},
+				retryTargets: topo.ClusterMembers(cluster),
+				quorum:       topo.F() + 1,
+				acceptFrom: func(from types.NodeID) bool {
+					return int(topo.ClusterOf(from)) == cluster
+				},
+				makeReq:   func(b types.Batch) types.Message { return &pbft.Request{Batch: b} },
+				window:    perWindow,
+				batchSize: s.BatchSize,
+				collector: collector,
+				records:   s.Records,
+			}
+			net.AddNode(config.ClientID(i), cluster, cl)
+		}
+		watch := reps[topo.ReplicaID(0, 1)]
+		return built{
+			primary:   topo.ReplicaID(0, 0),
+			watchExec: func() uint64 { return watch.ExecutedTxns() },
+		}
+
+	case PBFT:
+		members := topo.AllReplicas()
+		f := (len(members) - 1) / 3
+		reps := make(map[types.NodeID]*pbft.Standalone)
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster; i++ {
+				id := topo.ReplicaID(c, i)
+				rep := pbft.NewStandalone(pbft.Config{
+					Members: members, Self: id, F: f,
+					CheckpointInterval: checkpointBatches,
+					HighWaterMark:      64,
+				}, s.Records)
+				reps[id] = rep
+				net.AddNode(id, c, rep)
+			}
+		}
+		for i := 0; i < s.ClientNodes; i++ {
+			cluster := i % s.Clusters
+			cl := &quorumClient{
+				targets:      []types.NodeID{members[0]}, // primary in Oregon (Section 4)
+				retryTargets: members,
+				quorum:       f + 1,
+				makeReq:      func(b types.Batch) types.Message { return &pbft.Request{Batch: b} },
+				window:       perWindow,
+				batchSize:    s.BatchSize,
+				collector:    collector,
+				records:      s.Records,
+			}
+			net.AddNode(config.ClientID(i), cluster, cl)
+		}
+		watch := reps[topo.ReplicaID(0, 1)]
+		return built{
+			primary:   members[0],
+			watchExec: func() uint64 { return watch.Store().Applied() },
+		}
+
+	case Zyzzyva:
+		members := topo.AllReplicas()
+		f := (len(members) - 1) / 3
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster; i++ {
+				id := topo.ReplicaID(c, i)
+				rep := zyzzyva.NewReplica(zyzzyva.Config{
+					Members: members, Self: id, F: f, Records: s.Records,
+				})
+				net.AddNode(id, c, rep)
+			}
+		}
+		for i := 0; i < s.ClientNodes; i++ {
+			cluster := i % s.Clusters
+			wl := ycsb.NewWorkload(s.Records, ycsb.DefaultTheta, int64(i)*104729)
+			var seq uint64
+			id := config.ClientID(i)
+			cl := &zyzzyva.Client{
+				Members: members, F: f, Window: perWindow,
+				SpecTimeout: s.ZyzzyvaSpecGrace,
+				NextBatch: func() (types.Batch, bool) {
+					seq++
+					return wl.MakeBatch(id, seq, s.BatchSize), true
+				},
+			}
+			env := net // capture for closure below
+			_ = env
+			cl.OnComplete = func(_ uint64, submitted time.Duration, txns int) {
+				collector.RecordCompletion(net.Now(), submitted, txns)
+			}
+			net.AddNode(id, cluster, cl)
+		}
+		return built{primary: members[0]} // primary crash unsupported (paper)
+
+	case HotStuff:
+		members := topo.AllReplicas()
+		f := (len(members) - 1) / 3
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster; i++ {
+				id := topo.ReplicaID(c, i)
+				rep := hotstuff.NewReplica(hotstuff.Config{
+					Members: members, Self: id, F: f, Records: s.Records,
+					PipelinePerChain: 4,
+				})
+				net.AddNode(id, c, rep)
+			}
+		}
+		// Clients target live leaders round-robin (every replica leads).
+		var live []types.NodeID
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster-s.CrashBackups; i++ {
+				live = append(live, topo.ReplicaID(c, i))
+			}
+		}
+		for i := 0; i < s.ClientNodes; i++ {
+			cluster := i % s.Clusters
+			cl := &quorumClient{
+				targets:      live, // every replica leads; spread the load
+				retryTargets: []types.NodeID{live[(i+1)%len(live)]},
+				quorum:       f + 1,
+				makeReq:      func(b types.Batch) types.Message { return &hotstuff.Request{Batch: b} },
+				window:       perWindow,
+				batchSize:    s.BatchSize,
+				collector:    collector,
+				records:      s.Records,
+			}
+			net.AddNode(config.ClientID(i), cluster, cl)
+		}
+		return built{primary: members[0]}
+
+	case Steward:
+		reps := make(map[types.NodeID]*steward.Replica)
+		for c := 0; c < s.Clusters; c++ {
+			for i := 0; i < s.PerCluster; i++ {
+				id := topo.ReplicaID(c, i)
+				rep := steward.NewReplica(steward.Config{Topo: topo, Self: id, Records: s.Records})
+				reps[id] = rep
+				net.AddNode(id, c, rep)
+			}
+		}
+		for i := 0; i < s.ClientNodes; i++ {
+			cluster := i % s.Clusters
+			cl := &quorumClient{
+				targets:      []types.NodeID{topo.ReplicaID(cluster, 0)},
+				retryTargets: topo.ClusterMembers(cluster),
+				quorum:       topo.F() + 1,
+				acceptFrom: func(from types.NodeID) bool {
+					return int(topo.ClusterOf(from)) == cluster
+				},
+				makeReq:   func(b types.Batch) types.Message { return &steward.Request{Batch: b} },
+				window:    perWindow,
+				batchSize: s.BatchSize,
+				collector: collector,
+				records:   s.Records,
+			}
+			net.AddNode(config.ClientID(i), cluster, cl)
+		}
+		return built{primary: topo.ReplicaID(0, 0)}
+	}
+	panic(fmt.Sprintf("bench: unknown protocol %q", s.Protocol))
+}
+
+func pipelineDepth(s Scenario) int {
+	if s.DisablePipeline {
+		return -1
+	}
+	return 0 // default
+}

@@ -1,0 +1,125 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+func TestGoogleCloudProfileMatchesTable1(t *testing.T) {
+	p := GoogleCloudProfile(6)
+	// Spot-check Table 1 entries.
+	if got := p.RTT[int(Oregon)][int(Iowa)]; got != 38*time.Millisecond {
+		t.Errorf("Oregon-Iowa RTT = %v", got)
+	}
+	if got := p.RTT[int(Belgium)][int(Sydney)]; got != 270*time.Millisecond {
+		t.Errorf("Belgium-Sydney RTT = %v", got)
+	}
+	// Bandwidth is symmetric and in bytes/second.
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if p.Bandwidth[a][b] != p.Bandwidth[b][a] {
+				t.Errorf("bandwidth asymmetric at (%d,%d)", a, b)
+			}
+			if p.RTT[a][b] != p.RTT[b][a] {
+				t.Errorf("rtt asymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	// Oregon-Sydney: 136 Mbit/s = 17 MB/s.
+	if got := p.Bandwidth[int(Oregon)][int(Sydney)]; got != 136e6/8 {
+		t.Errorf("Oregon-Sydney bandwidth = %f", got)
+	}
+	// One-way latency is half the RTT.
+	if got := p.OneWay(int(Oregon), int(Iowa)); got != 19*time.Millisecond {
+		t.Errorf("one-way = %v", got)
+	}
+}
+
+func TestProfileSubsets(t *testing.T) {
+	for z := 1; z <= 6; z++ {
+		p := GoogleCloudProfile(z)
+		if len(p.Names) != z || len(p.RTT) != z || len(p.Uplink) != z {
+			t.Errorf("z=%d: wrong profile dimensions", z)
+		}
+	}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	topo := NewTopology(4, 7)
+	if topo.F() != 2 {
+		t.Errorf("F = %d", topo.F())
+	}
+	if topo.TotalReplicas() != 28 {
+		t.Errorf("TotalReplicas = %d", topo.TotalReplicas())
+	}
+	id := topo.ReplicaID(2, 3)
+	if id != 17 {
+		t.Errorf("ReplicaID(2,3) = %d", id)
+	}
+	if topo.ClusterOf(id) != 2 || topo.LocalIndex(id) != 3 {
+		t.Errorf("inverse mapping broken for %v", id)
+	}
+	members := topo.ClusterMembers(1)
+	if len(members) != 7 || members[0] != 7 || members[6] != 13 {
+		t.Errorf("ClusterMembers(1) = %v", members)
+	}
+	all := topo.AllReplicas()
+	if len(all) != 28 || all[0] != 0 || all[27] != 27 {
+		t.Errorf("AllReplicas wrong")
+	}
+}
+
+// Property: ReplicaID and (ClusterOf, LocalIndex) are inverse bijections.
+func TestTopologyBijectionProperty(t *testing.T) {
+	f := func(zRaw, nRaw uint8) bool {
+		z := int(zRaw%6) + 1
+		n := int(nRaw%20) + 4
+		topo := NewTopology(z, n)
+		seen := make(map[types.NodeID]bool)
+		for c := 0; c < z; c++ {
+			for i := 0; i < n; i++ {
+				id := topo.ReplicaID(c, i)
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+				if int(topo.ClusterOf(id)) != c || topo.LocalIndex(id) != i {
+					return false
+				}
+			}
+		}
+		return len(seen) == z*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailureBoundPerCluster(t *testing.T) {
+	// The paper's failure model (Remark 2.1): n > 3f per cluster.
+	cases := map[int]int{4: 1, 7: 2, 10: 3, 12: 3, 13: 4, 15: 4}
+	for n, f := range cases {
+		if got := NewTopology(2, n).F(); got != f {
+			t.Errorf("n=%d: f=%d, want %d", n, got, f)
+		}
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	p := UniformProfile(3, 80*time.Millisecond, 100)
+	if p.RTT[0][1] != 80*time.Millisecond || p.RTT[0][0] >= time.Millisecond {
+		t.Error("uniform profile wrong RTTs")
+	}
+	if p.Bandwidth[0][2] != 100e6/8 {
+		t.Error("uniform profile wrong bandwidth")
+	}
+}
+
+func TestClientID(t *testing.T) {
+	if !ClientID(0).IsClient() || !ClientID(500).IsClient() {
+		t.Error("client IDs misclassified")
+	}
+}

@@ -1,0 +1,215 @@
+// Package config defines deployment topologies and the geographic network
+// profile used throughout the repository. The inter-region latency and
+// bandwidth numbers are taken verbatim from Table 1 of the ResilientDB
+// paper (measurements between Google Cloud n1 machines in six regions); the
+// network simulator is calibrated against them.
+package config
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// Region indexes into the six-region profile, in the paper's order.
+type Region int
+
+// The six regions of the paper's evaluation (Table 1), in the order the
+// paper adds them to experiments (Section 4.1).
+const (
+	Oregon Region = iota
+	Iowa
+	Montreal
+	Belgium
+	Taiwan
+	Sydney
+	NumRegions
+)
+
+var regionNames = [NumRegions]string{
+	"Oregon", "Iowa", "Montreal", "Belgium", "Taiwan", "Sydney",
+}
+
+func (r Region) String() string {
+	if r < 0 || r >= NumRegions {
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+	return regionNames[r]
+}
+
+// rttMS is the symmetric ping round-trip-time matrix in milliseconds
+// (Table 1, upper triangle; intra-region entries are "≤ 1" and modelled as
+// 0.5 ms).
+var rttMS = [NumRegions][NumRegions]float64{
+	{1, 38, 65, 136, 118, 161},
+	{38, 1, 33, 98, 153, 172},
+	{65, 33, 1, 82, 186, 202},
+	{136, 98, 82, 1, 252, 270},
+	{118, 153, 186, 252, 1, 137},
+	{161, 172, 202, 270, 137, 1},
+}
+
+// bandwidthMbit is the symmetric bandwidth matrix in Mbit/s (Table 1).
+var bandwidthMbit = [NumRegions][NumRegions]float64{
+	{7998, 669, 371, 194, 188, 136},
+	{669, 10004, 752, 243, 144, 120},
+	{371, 752, 7977, 283, 111, 102},
+	{194, 243, 283, 9728, 79, 66},
+	{188, 144, 111, 79, 7998, 160},
+	{136, 120, 102, 66, 79 /*unreported; symmetric-ish*/, 7977},
+}
+
+func init() {
+	// Table 1 reports Taiwan→Sydney bandwidth as 160 Mbit/s; keep symmetry.
+	bandwidthMbit[Taiwan][Sydney] = 160
+	bandwidthMbit[Sydney][Taiwan] = 160
+}
+
+// Profile describes the network characteristics between every pair of
+// regions in a deployment, plus per-node local parameters.
+type Profile struct {
+	// Names of the regions, index-aligned with the matrices.
+	Names []string
+	// RTT holds round-trip times between region pairs.
+	RTT [][]time.Duration
+	// Bandwidth holds sustained per-flow bandwidth in bytes/second.
+	Bandwidth [][]float64
+	// Uplink is each node's NIC egress capacity in bytes/second; a node
+	// sending to many peers shares this.
+	Uplink []float64
+}
+
+// OneWay returns the modelled one-way latency between regions a and b.
+func (p *Profile) OneWay(a, b int) time.Duration { return p.RTT[a][b] / 2 }
+
+// GoogleCloudProfile returns the Table 1 profile restricted to the first z
+// regions (in the paper's ordering: Oregon, Iowa, Montreal, Belgium, Taiwan,
+// Sydney).
+func GoogleCloudProfile(z int) *Profile {
+	if z < 1 || z > int(NumRegions) {
+		panic(fmt.Sprintf("config: profile supports 1..%d regions, got %d", NumRegions, z))
+	}
+	p := &Profile{
+		Names:     make([]string, z),
+		RTT:       make([][]time.Duration, z),
+		Bandwidth: make([][]float64, z),
+		Uplink:    make([]float64, z),
+	}
+	for i := 0; i < z; i++ {
+		p.Names[i] = Region(i).String()
+		p.RTT[i] = make([]time.Duration, z)
+		p.Bandwidth[i] = make([]float64, z)
+		for j := 0; j < z; j++ {
+			ms := rttMS[i][j]
+			if i == j {
+				ms = 0.5
+			}
+			p.RTT[i][j] = time.Duration(ms * float64(time.Millisecond))
+			p.Bandwidth[i][j] = bandwidthMbit[i][j] * 1e6 / 8 // Mbit/s → B/s
+		}
+		// Per-VM egress cap, ~1 Gbit/s: the paper attributes the throughput
+		// ceiling of single-primary protocols to "the bandwidth of the
+		// single primary" (Section 4.4); intra-region per-flow rates in
+		// Table 1 exceed what one machine can push to dozens of peers.
+		p.Uplink[i] = 1000e6 / 8
+	}
+	return p
+}
+
+// UniformProfile returns a z-region profile where every pair of distinct
+// regions has the given RTT and bandwidth — useful for tests and ablations
+// that need a topology without Table 1's asymmetry.
+func UniformProfile(z int, rtt time.Duration, mbit float64) *Profile {
+	p := &Profile{
+		Names:     make([]string, z),
+		RTT:       make([][]time.Duration, z),
+		Bandwidth: make([][]float64, z),
+		Uplink:    make([]float64, z),
+	}
+	for i := 0; i < z; i++ {
+		p.Names[i] = fmt.Sprintf("region%d", i)
+		p.RTT[i] = make([]time.Duration, z)
+		p.Bandwidth[i] = make([]float64, z)
+		for j := 0; j < z; j++ {
+			if i == j {
+				p.RTT[i][j] = 500 * time.Microsecond
+				p.Bandwidth[i][j] = 8000e6 / 8
+			} else {
+				p.RTT[i][j] = rtt
+				p.Bandwidth[i][j] = mbit * 1e6 / 8
+			}
+		}
+		p.Uplink[i] = 8000e6 / 8
+	}
+	return p
+}
+
+// RTTMillis exposes the raw Table 1 RTT entry (for Table 1 regeneration).
+func RTTMillis(a, b Region) float64 {
+	if a == b {
+		return 1
+	}
+	return rttMS[a][b]
+}
+
+// BandwidthMbit exposes the raw Table 1 bandwidth entry.
+func BandwidthMbit(a, b Region) float64 { return bandwidthMbit[a][b] }
+
+// Topology describes a clustered deployment: z clusters of n replicas each,
+// with at most f = ⌊(n−1)/3⌋ Byzantine replicas per cluster (the paper's
+// failure model, Remark 2.1).
+type Topology struct {
+	Clusters   int // z
+	PerCluster int // n
+}
+
+// NewTopology validates and returns a topology.
+func NewTopology(z, n int) Topology {
+	if z < 1 || n < 4 {
+		panic(fmt.Sprintf("config: invalid topology z=%d n=%d (need z ≥ 1, n ≥ 4)", z, n))
+	}
+	return Topology{Clusters: z, PerCluster: n}
+}
+
+// F returns the per-cluster fault bound f with n > 3f.
+func (t Topology) F() int { return (t.PerCluster - 1) / 3 }
+
+// TotalReplicas returns zn.
+func (t Topology) TotalReplicas() int { return t.Clusters * t.PerCluster }
+
+// ReplicaID maps (cluster, local index) to the global replica identifier.
+func (t Topology) ReplicaID(cluster, local int) types.NodeID {
+	return types.NodeID(cluster*t.PerCluster + local)
+}
+
+// ClusterOf returns the cluster of a replica.
+func (t Topology) ClusterOf(id types.NodeID) types.ClusterID {
+	return types.ClusterID(int(id) / t.PerCluster)
+}
+
+// LocalIndex returns a replica's index within its cluster (0-based).
+func (t Topology) LocalIndex(id types.NodeID) int {
+	return int(id) % t.PerCluster
+}
+
+// ClusterMembers returns the replica IDs of one cluster, in local order.
+func (t Topology) ClusterMembers(cluster int) []types.NodeID {
+	out := make([]types.NodeID, t.PerCluster)
+	for i := range out {
+		out[i] = t.ReplicaID(cluster, i)
+	}
+	return out
+}
+
+// AllReplicas returns every replica ID in the system, in global order.
+func (t Topology) AllReplicas() []types.NodeID {
+	out := make([]types.NodeID, 0, t.TotalReplicas())
+	for c := 0; c < t.Clusters; c++ {
+		out = append(out, t.ClusterMembers(c)...)
+	}
+	return out
+}
+
+// ClientID returns the NodeID of the i-th client.
+func ClientID(i int) types.NodeID { return types.ClientIDBase + types.NodeID(i) }

@@ -1,0 +1,81 @@
+// Package core implements GeoBFT, the Geo-Scale Byzantine Fault-Tolerant
+// consensus protocol that is the primary contribution of the ResilientDB
+// paper. Replicas are grouped into topological clusters, one per region;
+// each round every cluster independently replicates one client batch with
+// local PBFT (Section 2.2), optimistically shares the resulting commit
+// certificate with f+1 replicas of every other cluster (Section 2.3),
+// detects and repairs failed sharing with the remote view-change protocol
+// (Figure 7), and finally executes the z chosen batches in deterministic
+// cluster order (Section 2.4). Rounds are pipelined: local replication of
+// round ρ+k, sharing of ρ+1 and execution of ρ proceed concurrently
+// (Section 2.5).
+package core
+
+import (
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// GlobalShare carries m = (⟨T⟩c, [⟨T⟩c, ρ]C): a locally replicated client
+// request together with its commit certificate, sent from the primary of the
+// origin cluster to f+1 replicas of each other cluster, and then broadcast
+// locally by each receiver (the two-phase optimistic sharing protocol of
+// Figure 5).
+type GlobalShare struct {
+	// Cluster is the origin cluster.
+	Cluster types.ClusterID
+	// Round is ρ, the origin cluster's local sequence number.
+	Round uint64
+	// Cert proves local consensus: the request plus n−f commit signatures.
+	Cert *pbft.Certificate
+}
+
+func (*GlobalShare) MsgType() string { return "geobft/share" }
+
+// WireSize implements types.Message.
+func (g *GlobalShare) WireSize() int { return types.HeaderBytes + g.Cert.WireSize() }
+
+// DRvc initiates local agreement on the failure of a remote cluster: replica
+// R detected that Target failed to share its round-Round message and this is
+// R's V-th remote view-change request for Target (Figure 7, initiation
+// role).
+type DRvc struct {
+	Target  types.ClusterID
+	Round   uint64
+	V       uint64
+	Replica types.NodeID
+}
+
+func (*DRvc) MsgType() string { return "geobft/drvc" }
+
+// WireSize implements types.Message.
+func (*DRvc) WireSize() int { return types.ControlBytes }
+
+// Rvc is the actual remote view-change request sent across clusters after
+// n−f local replicas agreed on the failure. It is signed, as it is
+// forwarded within the receiving cluster (Figure 7, response role).
+type Rvc struct {
+	Target  types.ClusterID // the cluster whose primary must be replaced
+	From    types.ClusterID // the requesting cluster
+	Round   uint64
+	V       uint64
+	Replica types.NodeID
+	Sig     []byte
+}
+
+func (*Rvc) MsgType() string { return "geobft/rvc" }
+
+// WireSize implements types.Message.
+func (*Rvc) WireSize() int { return types.ControlBytes }
+
+// rvcPayload is the canonical signed content of an Rvc message.
+func rvcPayload(m *Rvc) []byte {
+	enc := types.NewEncoder(64)
+	enc.String("geobft/RVC")
+	enc.I32(int32(m.Target))
+	enc.I32(int32(m.From))
+	enc.U64(m.Round)
+	enc.U64(m.V)
+	enc.I32(int32(m.Replica))
+	return enc.Bytes()
+}

@@ -1,0 +1,709 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/kvstore"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+)
+
+// Config parameterizes one GeoBFT replica.
+type Config struct {
+	// Topo describes the clustered deployment (z clusters of n replicas).
+	Topo config.Topology
+	// Self is this replica's identifier; its cluster follows from Topo.
+	Self types.NodeID
+	// Records sizes the preloaded YCSB table.
+	Records int
+	// CheckpointInterval is the local PBFT checkpoint interval in rounds.
+	CheckpointInterval uint64
+	// LocalTimeout is the local PBFT view-change timeout.
+	LocalTimeout time.Duration
+	// RemoteTimeout is the base failure-detection timeout for remote
+	// clusters; it backs off exponentially on repeated failures
+	// (Section 2.3).
+	RemoteTimeout time.Duration
+	// PipelineDepth bounds how many rounds local replication may run ahead
+	// of global execution (Section 2.5); 0 selects the default of 48, and a
+	// negative value disables pipelining entirely (ablation).
+	PipelineDepth int
+	// Fanout is the number of replicas per remote cluster the primary sends
+	// certificates to; 0 selects the paper's f+1. Setting it to n is the
+	// all-to-cluster ablation.
+	Fanout int
+	// ClientCluster maps a client to its home cluster (clients are informed
+	// only by their local cluster, Section 2.4). Nil assigns client i to
+	// cluster i mod z.
+	ClientCluster func(types.NodeID) int
+	// OnExecute, if set, observes every executed batch in execution order
+	// (the fabric surfaces committed blocks to applications through it).
+	OnExecute func(round uint64, cluster types.ClusterID, batch types.Batch)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Records == 0 {
+		out.Records = 1000
+	}
+	if out.CheckpointInterval == 0 {
+		out.CheckpointInterval = 6
+	}
+	if out.LocalTimeout == 0 {
+		out.LocalTimeout = 2 * time.Second
+	}
+	if out.RemoteTimeout == 0 {
+		out.RemoteTimeout = 3 * time.Second
+	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = 48
+	}
+	if out.Fanout == 0 {
+		out.Fanout = out.Topo.F() + 1
+	}
+	if out.ClientCluster == nil {
+		z := out.Topo.Clusters
+		out.ClientCluster = func(id types.NodeID) int {
+			return int(id-types.ClientIDBase) % z
+		}
+	}
+	return out
+}
+
+// round aggregates the per-round global state: one commit certificate per
+// cluster, executed when complete and in order.
+type round struct {
+	certs []*pbft.Certificate // indexed by cluster
+	have  int
+}
+
+// drvcKey identifies one remote view-change agreement instance.
+type drvcKey struct {
+	target types.ClusterID
+	round  uint64
+	v      uint64
+}
+
+// rvcKey identifies one incoming remote view-change request set.
+type rvcKey struct {
+	from  types.ClusterID
+	round uint64
+	v     uint64
+}
+
+// Replica is a full GeoBFT replica: local PBFT consensus, inter-cluster
+// certificate sharing, remote view-changes, deterministic ordering,
+// execution against the YCSB table, ledger maintenance and client replies.
+type Replica struct {
+	cfg       Config
+	myCluster int
+	members   []types.NodeID // local cluster members
+
+	env    proto.Env
+	local  *pbft.Replica
+	store  *kvstore.Store
+	ledger *ledger.Ledger
+
+	rounds        map[uint64]*round
+	executed      map[uint64]*round // retained window for lagging peers
+	executedRound uint64
+	localUpTo     uint64 // local PBFT rounds committed (own cluster)
+
+	// primary-side state
+	pending  []types.Batch // client batches awaiting admission to PBFT
+	noopSeq  uint64
+	sharedTo uint64 // rounds shared with other clusters
+
+	// remote failure detection (initiation role)
+	detTimers  []proto.Timer // per cluster, armed for the blocking round
+	detRound   []uint64      // round each timer supervises
+	detBackoff []uint
+	vCounter   []uint64 // v1 of Figure 7, per target cluster
+	drvcVotes  map[drvcKey]map[types.NodeID]bool
+	drvcMine   map[drvcKey]bool
+	rvcSent    map[drvcKey]bool
+
+	// remote view-change response role
+	rvcVotes      map[rvcKey]map[types.NodeID]bool
+	rvcForwarded  map[rvcKey]bool
+	honoredV      map[types.ClusterID]uint64
+	reshareFloor  uint64
+	lastInstalled time.Duration
+
+	// stats
+	execBatches uint64
+	execTxns    uint64
+}
+
+// NewReplica constructs a GeoBFT replica. Call Init (or InitEnv) before use.
+func NewReplica(cfg Config) *Replica {
+	c := cfg.withDefaults()
+	z := c.Topo.Clusters
+	r := &Replica{
+		cfg:          c,
+		myCluster:    int(c.Topo.ClusterOf(c.Self)),
+		members:      c.Topo.ClusterMembers(int(c.Topo.ClusterOf(c.Self))),
+		rounds:       make(map[uint64]*round),
+		executed:     make(map[uint64]*round),
+		detTimers:    make([]proto.Timer, z),
+		detRound:     make([]uint64, z),
+		detBackoff:   make([]uint, z),
+		vCounter:     make([]uint64, z),
+		drvcVotes:    make(map[drvcKey]map[types.NodeID]bool),
+		drvcMine:     make(map[drvcKey]bool),
+		rvcSent:      make(map[drvcKey]bool),
+		rvcVotes:     make(map[rvcKey]map[types.NodeID]bool),
+		rvcForwarded: make(map[rvcKey]bool),
+		honoredV:     make(map[types.ClusterID]uint64),
+	}
+	return r
+}
+
+// Init implements simnet.Handler.
+func (r *Replica) Init(env *simnet.Env) { r.InitEnv(proto.WrapSim(env)) }
+
+// InitEnv wires the replica to any protocol environment.
+func (r *Replica) InitEnv(env proto.Env) {
+	r.env = env
+	r.store = kvstore.New(r.cfg.Records)
+	r.ledger = ledger.New()
+	r.local = pbft.NewReplica(env, pbft.Config{
+		Members:            r.members,
+		Self:               r.cfg.Self,
+		F:                  r.cfg.Topo.F(),
+		CheckpointInterval: r.cfg.CheckpointInterval,
+		ViewChangeTimeout:  r.cfg.LocalTimeout,
+	}, pbft.Hooks{
+		Committed:   r.onLocalCommit,
+		ViewChanged: r.onLocalViewChange,
+	})
+}
+
+// Receive implements simnet.Handler: it dispatches global GeoBFT messages
+// and hands everything else to the local PBFT instance.
+func (r *Replica) Receive(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *pbft.Request:
+		if from.IsClient() {
+			r.submitClient(m.Batch)
+			return
+		}
+		r.local.HandleMessage(from, msg)
+	case *GlobalShare:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onGlobalShare(from, m)
+	case *DRvc:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onDRvc(from, m)
+	case *Rvc:
+		r.onRvc(from, m)
+	default:
+		r.local.HandleMessage(from, msg)
+	}
+}
+
+// quorum is the local n−f threshold.
+func (r *Replica) quorum() int { return len(r.members) - r.cfg.Topo.F() }
+
+// IsPrimary reports whether this replica currently leads its cluster.
+func (r *Replica) IsPrimary() bool { return r.local.IsPrimary() }
+
+// Ledger exposes the replica's blockchain.
+func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
+
+// Store exposes the replica's table.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// Local exposes the local PBFT instance (tests, fault injection).
+func (r *Replica) Local() *pbft.Replica { return r.local }
+
+// ExecutedRound returns the last fully executed global round.
+func (r *Replica) ExecutedRound() uint64 { return r.executedRound }
+
+// ExecutedTxns returns the number of transactions executed.
+func (r *Replica) ExecutedTxns() uint64 { return r.execTxns }
+
+// --- client admission and pipelining ---------------------------------------
+
+// SubmitBatch admits a locally originated batch, e.g. one assembled by the
+// fabric's batching stage. It follows the same admission path as a client
+// request.
+func (r *Replica) SubmitBatch(b types.Batch) { r.submitClient(b) }
+
+// submitClient admits a client batch. The primary feeds PBFT subject to the
+// pipeline bound; backups forward to the primary via PBFT's supervision
+// mechanism (which also arms the anti-censorship timer).
+func (r *Replica) submitClient(b types.Batch) {
+	if r.IsPrimary() {
+		r.env.Suite().ChargeVerify()
+		r.pending = append(r.pending, b)
+		r.feedPrimary()
+		return
+	}
+	r.local.SubmitLocal(b, false)
+}
+
+// assignedRounds is the highest round the primary has admitted to PBFT
+// (assigned or queued).
+func (r *Replica) assignedRounds() uint64 {
+	return r.local.NextSeq() + uint64(r.local.QueueLen())
+}
+
+// feedPrimary moves pending batches into PBFT while the pipeline allows:
+// local replication may run at most PipelineDepth rounds ahead of global
+// execution (with pipelining disabled, one round at a time).
+func (r *Replica) feedPrimary() {
+	if !r.IsPrimary() {
+		return
+	}
+	depth := uint64(r.cfg.PipelineDepth)
+	if r.cfg.PipelineDepth < 0 {
+		depth = 1
+	}
+	for len(r.pending) > 0 && r.assignedRounds() < r.executedRound+depth {
+		b := r.pending[0]
+		r.pending = r.pending[1:]
+		r.local.SubmitLocal(b, true)
+	}
+}
+
+// proposeNoOps fills rounds up to target with no-op batches, used when other
+// clusters have advanced to rounds this cluster has no client load for
+// (Section 2.5).
+func (r *Replica) proposeNoOps(target uint64) {
+	if !r.IsPrimary() {
+		return
+	}
+	for r.assignedRounds() < target {
+		if len(r.pending) > 0 {
+			b := r.pending[0]
+			r.pending = r.pending[1:]
+			r.local.SubmitLocal(b, true)
+			continue
+		}
+		r.noopSeq++
+		noop := types.Batch{Client: r.cfg.Self, Seq: r.noopSeq, NoOp: true}
+		r.local.SubmitLocal(noop, true)
+	}
+}
+
+// --- local replication completion -------------------------------------------
+
+// onLocalCommit receives the local cluster's commit certificates in round
+// order (PBFT delivers them gap-free).
+func (r *Replica) onLocalCommit(seq uint64, cert *pbft.Certificate) {
+	r.localUpTo = seq
+	r.setCert(types.ClusterID(r.myCluster), seq, cert)
+	if r.IsPrimary() {
+		r.shareRound(seq, cert)
+	}
+	r.feedPrimary()
+	r.rearmDetection()
+}
+
+// shareRound performs the global phase of Figure 5: send the certificate to
+// Fanout (= f+1) replicas of every other cluster.
+func (r *Replica) shareRound(seq uint64, cert *pbft.Certificate) {
+	if seq > r.sharedTo {
+		r.sharedTo = seq
+	}
+	msg := &GlobalShare{Cluster: types.ClusterID(r.myCluster), Round: seq, Cert: cert}
+	for c := 0; c < r.cfg.Topo.Clusters; c++ {
+		if c == r.myCluster {
+			continue
+		}
+		for i := 0; i < r.cfg.Fanout && i < r.cfg.Topo.PerCluster; i++ {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(r.cfg.Topo.ReplicaID(c, i), msg)
+		}
+	}
+}
+
+// --- global sharing, receive side -------------------------------------------
+
+func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare) {
+	c := int(m.Cluster)
+	if c < 0 || c >= r.cfg.Topo.Clusters || c == r.myCluster {
+		return
+	}
+	if m.Round <= r.executedRound {
+		return // stale: already executed
+	}
+	if rd := r.rounds[m.Round]; rd != nil && rd.certs[c] != nil {
+		return // duplicate
+	}
+	// Verify the forwarded certificate against the origin cluster's
+	// membership: n−f valid commit signatures (Proposition 2.5, Agreement).
+	members := r.cfg.Topo.ClusterMembers(c)
+	if m.Cert == nil || m.Cert.Seq != m.Round ||
+		!m.Cert.Verify(r.env.Suite(), members, r.quorum()) {
+		return
+	}
+	r.setCert(m.Cluster, m.Round, m.Cert)
+
+	// Local phase of Figure 5: a replica that received the message from the
+	// origin cluster broadcasts it to its own cluster.
+	if int(r.cfg.Topo.ClusterOf(from)) != r.myCluster || from.IsClient() {
+		for _, peer := range r.members {
+			if peer != r.cfg.Self {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(peer, m)
+			}
+		}
+	}
+
+	// Receiving evidence of round m.Round lets the primary fill no-op gaps
+	// when it lacks client load (Section 2.5).
+	r.proposeNoOps(m.Round)
+
+	// A fresh certificate from c resets its failure-detection back-off.
+	r.detBackoff[c] = 0
+	r.rearmDetection()
+}
+
+func (r *Replica) setCert(cluster types.ClusterID, rnd uint64, cert *pbft.Certificate) {
+	if rnd <= r.executedRound {
+		return
+	}
+	rd := r.rounds[rnd]
+	if rd == nil {
+		rd = &round{certs: make([]*pbft.Certificate, r.cfg.Topo.Clusters)}
+		r.rounds[rnd] = rd
+	}
+	if rd.certs[cluster] != nil {
+		return
+	}
+	rd.certs[cluster] = cert
+	rd.have++
+	r.tryExecute()
+}
+
+// --- ordering and execution (Section 2.4) ------------------------------------
+
+func (r *Replica) tryExecute() {
+	for {
+		rd := r.rounds[r.executedRound+1]
+		if rd == nil || rd.have < r.cfg.Topo.Clusters {
+			return
+		}
+		r.executedRound++
+		delete(r.rounds, r.executedRound)
+		// Retain a window of executed rounds so a lagging local replica can
+		// still obtain remote certificates it missed.
+		const retainRounds = 256
+		r.executed[r.executedRound] = rd
+		delete(r.executed, r.executedRound-retainRounds)
+		for c := 0; c < r.cfg.Topo.Clusters; c++ {
+			cert := rd.certs[c]
+			batch := cert.Batch
+			r.env.Suite().ChargeExec(batch.Len())
+			r.store.ApplyBatch(&batch)
+			r.ledger.Append(r.executedRound, types.ClusterID(c), batch, cert.CertDigest())
+			if r.cfg.OnExecute != nil {
+				r.cfg.OnExecute(r.executedRound, types.ClusterID(c), batch)
+			}
+			if batch.NoOp {
+				continue
+			}
+			r.execBatches++
+			r.execTxns += uint64(batch.Len())
+			// Inform only local clients (Section 2.4).
+			if r.cfg.ClientCluster(batch.Client) == r.myCluster && batch.Client.IsClient() {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(batch.Client, &proto.Reply{
+					Client:    batch.Client,
+					ClientSeq: batch.Seq,
+					Replica:   r.cfg.Self,
+					TxnCount:  batch.Len(),
+					Result:    cert.Digest,
+				})
+			}
+		}
+		r.gcRemoteState(r.executedRound)
+		r.feedPrimary()
+		r.rearmDetection()
+	}
+}
+
+func (r *Replica) gcRemoteState(upTo uint64) {
+	for k := range r.drvcVotes {
+		if k.round <= upTo {
+			delete(r.drvcVotes, k)
+		}
+	}
+	for k := range r.drvcMine {
+		if k.round <= upTo {
+			delete(r.drvcMine, k)
+		}
+	}
+	for k := range r.rvcSent {
+		if k.round <= upTo {
+			delete(r.rvcSent, k)
+		}
+	}
+	for k := range r.rvcVotes {
+		if k.round <= upTo {
+			delete(r.rvcVotes, k)
+		}
+	}
+	for k := range r.rvcForwarded {
+		if k.round <= upTo {
+			delete(r.rvcForwarded, k)
+		}
+	}
+}
+
+// --- remote failure detection (Figure 7, initiation role) -------------------
+
+// rearmDetection supervises the round blocking execution: for each remote
+// cluster whose certificate for round executedRound+1 is missing while there
+// is evidence the round exists, a timer runs (Section 2.3: "every replica
+// sets a timer for C1 at the start of round ρ").
+func (r *Replica) rearmDetection() {
+	blocking := r.executedRound + 1
+	rd := r.rounds[blocking]
+	evidence := r.localUpTo >= blocking || (rd != nil && rd.have > 0)
+	for c := 0; c < r.cfg.Topo.Clusters; c++ {
+		if c == r.myCluster {
+			continue
+		}
+		missing := rd == nil || rd.certs[c] == nil
+		if evidence && missing {
+			if r.detTimers[c] != nil && r.detRound[c] == blocking {
+				continue // already supervising this round
+			}
+			if r.detTimers[c] != nil {
+				r.detTimers[c].Stop()
+			}
+			r.armDetTimer(c, blocking)
+		} else if r.detTimers[c] != nil {
+			r.detTimers[c].Stop()
+			r.detTimers[c] = nil
+		}
+	}
+}
+
+func (r *Replica) armDetTimer(c int, rnd uint64) {
+	d := r.cfg.RemoteTimeout
+	for i := uint(0); i < r.detBackoff[c] && i < 6; i++ {
+		d *= 2
+	}
+	r.detRound[c] = rnd
+	r.detTimers[c] = r.env.SetTimer(d, func() {
+		r.detTimers[c] = nil
+		if r.executedRound+1 != rnd {
+			r.rearmDetection()
+			return
+		}
+		rd := r.rounds[rnd]
+		if rd != nil && rd.certs[c] != nil {
+			return
+		}
+		r.detBackoff[c]++
+		r.detectFailure(types.ClusterID(c), rnd)
+		r.armDetTimer(c, rnd) // keep supervising with back-off
+	})
+}
+
+// detectFailure broadcasts DRvc to reach local agreement on the failure of
+// cluster target in round rnd (Figure 7 lines 2–4).
+func (r *Replica) detectFailure(target types.ClusterID, rnd uint64) {
+	v := r.vCounter[target]
+	k := drvcKey{target: target, round: rnd, v: v}
+	if r.drvcMine[k] {
+		return
+	}
+	r.drvcMine[k] = true
+	r.vCounter[target] = v + 1
+	m := &DRvc{Target: target, Round: rnd, V: v, Replica: r.cfg.Self}
+	for _, peer := range r.members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, m)
+		}
+	}
+	r.recordDRvc(k, r.cfg.Self)
+}
+
+func (r *Replica) onDRvc(from types.NodeID, m *DRvc) {
+	if int(r.cfg.Topo.ClusterOf(from)) != r.myCluster || m.Replica != from {
+		return
+	}
+	if int(m.Target) == r.myCluster {
+		return
+	}
+	// Lines 5–7: answer with the message if we have it (including rounds we
+	// already executed — the sender is simply behind).
+	rd := r.rounds[m.Round]
+	if rd == nil {
+		rd = r.executed[m.Round]
+	}
+	if rd != nil && rd.certs[m.Target] != nil {
+		r.env.Suite().ChargeMAC()
+		r.env.Send(from, &GlobalShare{Cluster: m.Target, Round: m.Round, Cert: rd.certs[m.Target]})
+		return
+	}
+	if m.Round <= r.executedRound {
+		return // executed but no longer retained; nothing useful to add
+	}
+	k := drvcKey{target: m.Target, round: m.Round, v: m.V}
+	r.recordDRvc(k, from)
+}
+
+func (r *Replica) recordDRvc(k drvcKey, from types.NodeID) {
+	set := r.drvcVotes[k]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		r.drvcVotes[k] = set
+	}
+	if set[from] {
+		return
+	}
+	set[from] = true
+
+	f := r.cfg.Topo.F()
+	// Lines 8–11: f+1 matching detections prove at least one non-faulty
+	// replica detected the failure — join it.
+	if len(set) >= f+1 && !r.drvcMine[k] {
+		if r.vCounter[k.target] <= k.v {
+			r.vCounter[k.target] = k.v
+		}
+		r.detectFailureAt(k)
+	}
+	// Line 12: n−f agreement → send the remote view-change request to the
+	// same-id replica of the target cluster.
+	if len(set) >= r.quorum() && !r.rvcSent[k] {
+		r.rvcSent[k] = true
+		local := r.cfg.Topo.LocalIndex(r.cfg.Self)
+		peer := r.cfg.Topo.ReplicaID(int(k.target), local)
+		rvc := &Rvc{
+			Target: k.target, From: types.ClusterID(r.myCluster),
+			Round: k.round, V: k.v, Replica: r.cfg.Self,
+		}
+		rvc.Sig = r.env.Suite().Sign(rvcPayload(rvc))
+		r.env.Suite().ChargeMAC()
+		r.env.Send(peer, rvc)
+	}
+}
+
+// detectFailureAt emits our own DRvc for an agreement instance another
+// replica started (the f+1 adoption rule).
+func (r *Replica) detectFailureAt(k drvcKey) {
+	if r.drvcMine[k] {
+		return
+	}
+	r.drvcMine[k] = true
+	m := &DRvc{Target: k.target, Round: k.round, V: k.v, Replica: r.cfg.Self}
+	for _, peer := range r.members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, m)
+		}
+	}
+	r.recordDRvc(k, r.cfg.Self)
+}
+
+// --- remote view-change, response role (Figure 7 lines 14–17) ---------------
+
+func (r *Replica) onRvc(from types.NodeID, m *Rvc) {
+	if int(m.Target) != r.myCluster || m.Replica != from && int(r.cfg.Topo.ClusterOf(from)) != r.myCluster {
+		return
+	}
+	if !r.env.Suite().Verify(m.Replica, rvcPayload(m), m.Sig) {
+		return
+	}
+	if int(r.cfg.Topo.ClusterOf(m.Replica)) != int(m.From) || int(m.From) == r.myCluster {
+		return
+	}
+	k := rvcKey{from: m.From, round: m.Round, v: m.V}
+
+	// Line 14–15: forward a well-formed external request to all local
+	// replicas (once).
+	if !r.rvcForwarded[k] {
+		r.rvcForwarded[k] = true
+		for _, peer := range r.members {
+			if peer != r.cfg.Self {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(peer, m)
+			}
+		}
+	}
+
+	set := r.rvcVotes[k]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		r.rvcVotes[k] = set
+	}
+	if set[m.Replica] {
+		return
+	}
+	set[m.Replica] = true
+
+	// Track the lowest round any cluster is still waiting on; a new primary
+	// resumes sharing from there.
+	if r.reshareFloor == 0 || m.Round < r.reshareFloor {
+		r.reshareFloor = m.Round
+	}
+
+	// Line 16: f+1 matching signed requests from one cluster, no concurrent
+	// local view-change, and replay protection on v.
+	if len(set) <= r.cfg.Topo.F() {
+		return
+	}
+	if r.local.InViewChange() {
+		return
+	}
+	if hv, ok := r.honoredV[m.From]; ok && m.V <= hv {
+		return
+	}
+	if r.env.Now()-r.lastInstalled < r.cfg.LocalTimeout/2 {
+		return // a view-change just completed; give it a chance to resend
+	}
+	r.honoredV[m.From] = m.V
+	// Line 17: detect failure of our own primary → local view-change.
+	r.local.ForceViewChange()
+}
+
+// onLocalViewChange reacts to the installation of a new local view: the new
+// primary resumes global sharing for every round that may not have reached
+// the other clusters (Section 2.3, "the new primary takes one of the remote
+// view-change requests it received and determines the rounds for which it
+// needs to send requests").
+func (r *Replica) onLocalViewChange(view uint64, primary types.NodeID) {
+	r.lastInstalled = r.env.Now()
+	if primary != r.cfg.Self {
+		return
+	}
+	from := r.executedRound + 1
+	if r.reshareFloor > 0 && r.reshareFloor < from {
+		from = r.reshareFloor
+	}
+	const maxReshare = 512
+	count := 0
+	for rnd := from; rnd <= r.localUpTo && count < maxReshare; rnd++ {
+		var cert *pbft.Certificate
+		if rd := r.rounds[rnd]; rd != nil && rd.certs[r.myCluster] != nil {
+			cert = rd.certs[r.myCluster]
+		} else if rd := r.executed[rnd]; rd != nil && rd.certs[r.myCluster] != nil {
+			cert = rd.certs[r.myCluster]
+		} else if c := r.local.Certificate(rnd); c != nil {
+			cert = c
+		}
+		if cert != nil {
+			r.shareRound(rnd, cert)
+			count++
+		}
+	}
+	r.reshareFloor = 0
+	r.feedPrimary()
+}
+
+// String identifies the replica in logs.
+func (r *Replica) String() string {
+	return fmt.Sprintf("geobft(r%d,c%d)", int(r.cfg.Self), r.myCluster)
+}

@@ -1,0 +1,122 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 4493 Section 4 test vectors for AES-128-CMAC.
+var rfc4493Key = mustHex("2b7e151628aed2a6abf7158809cf4f3c")
+
+var rfc4493Msg = mustHex(
+	"6bc1bee22e409f96e93d7e117393172a" +
+		"ae2d8a571e03ac9c9eb76fac45af8e51" +
+		"30c81c46a35ce411e5fbc1191a0a52ef" +
+		"f69f2445df4f9b17ad2b417be66c3710")
+
+func mustHex(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCMACRFC4493Vectors(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  []byte
+		want string
+	}{
+		{"empty", nil, "bb1d6929e95937287fa37d129b756746"},
+		{"16-byte", rfc4493Msg[:16], "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40-byte", rfc4493Msg[:40], "dfa66747de9ae63030ca32611497c827"},
+		{"64-byte", rfc4493Msg, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	c, err := NewCMAC(rfc4493Key)
+	if err != nil {
+		t.Fatalf("NewCMAC: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := c.Sum(tc.msg)
+			if hex.EncodeToString(got[:]) != tc.want {
+				t.Errorf("Sum = %x, want %s", got, tc.want)
+			}
+			if !c.Verify(tc.msg, got[:]) {
+				t.Error("Verify rejected its own tag")
+			}
+		})
+	}
+}
+
+func TestCMACSubkeys(t *testing.T) {
+	// RFC 4493 Section 4: K1 = fbeed618357133667c85e08f7236a8de,
+	// K2 = f7ddac306ae266ccf90bc11ee46d513b.
+	c, err := NewCMAC(rfc4493Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(c.k1[:]); got != "fbeed618357133667c85e08f7236a8de" {
+		t.Errorf("K1 = %s", got)
+	}
+	if got := hex.EncodeToString(c.k2[:]); got != "f7ddac306ae266ccf90bc11ee46d513b" {
+		t.Errorf("K2 = %s", got)
+	}
+}
+
+func TestCMACRejectsTampering(t *testing.T) {
+	c, err := NewCMAC(rfc4493Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("resilientdb message")
+	tag := c.Sum(msg)
+	if !c.Verify(msg, tag[:]) {
+		t.Fatal("valid tag rejected")
+	}
+	bad := bytes.Clone(msg)
+	bad[0] ^= 1
+	if c.Verify(bad, tag[:]) {
+		t.Error("tampered message accepted")
+	}
+	badTag := bytes.Clone(tag[:])
+	badTag[5] ^= 0x40
+	if c.Verify(msg, badTag) {
+		t.Error("tampered tag accepted")
+	}
+	if c.Verify(msg, tag[:15]) {
+		t.Error("truncated tag accepted")
+	}
+}
+
+func TestCMACBoundaryLengths(t *testing.T) {
+	c, err := NewCMAC(rfc4493Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every length around block boundaries must round-trip.
+	for n := 0; n <= 64; n++ {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		tag := c.Sum(msg)
+		if !c.Verify(msg, tag[:]) {
+			t.Fatalf("len %d: verify failed", n)
+		}
+		if n > 0 {
+			msg[n-1] ^= 0xff
+			if c.Verify(msg, tag[:]) {
+				t.Fatalf("len %d: tamper accepted", n)
+			}
+		}
+	}
+}
+
+func TestCMACKeySize(t *testing.T) {
+	if _, err := NewCMAC([]byte("short")); err == nil {
+		t.Error("expected error for invalid key size")
+	}
+}

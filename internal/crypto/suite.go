@@ -1,0 +1,192 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// Mode selects between real primitives and fast cost-charged substitutes.
+type Mode int
+
+const (
+	// Real computes every primitive (ED25519, AES-CMAC, SHA-256).
+	Real Mode = iota
+	// Fast substitutes cheap keyed hashes and charges the calibrated CPU
+	// cost of the real primitive instead. Tags remain verifiable across
+	// nodes; forging them is only as hard as knowing the signer ID, which is
+	// acceptable because simulated Byzantine behaviour is scripted.
+	Fast
+)
+
+// Directory holds the long-lived key material of every node in the system:
+// an ED25519 keypair per node and pairwise symmetric keys for authenticated
+// channels. In the permissioned setting all of this is provisioned up front.
+type Directory struct {
+	mode Mode
+	pub  map[types.NodeID]ed25519.PublicKey
+	priv map[types.NodeID]ed25519.PrivateKey
+}
+
+// NewDirectory provisions key material for the given nodes. In Fast mode no
+// real keys are generated.
+func NewDirectory(mode Mode, nodes []types.NodeID) *Directory {
+	d := &Directory{
+		mode: mode,
+		pub:  make(map[types.NodeID]ed25519.PublicKey, len(nodes)),
+		priv: make(map[types.NodeID]ed25519.PrivateKey, len(nodes)),
+	}
+	if mode == Real {
+		for _, id := range nodes {
+			seed := sha256.Sum256([]byte(fmt.Sprintf("resilientdb-seed-%d", id)))
+			priv := ed25519.NewKeyFromSeed(seed[:])
+			d.priv[id] = priv
+			d.pub[id] = priv.Public().(ed25519.PublicKey)
+		}
+	}
+	return d
+}
+
+// Mode returns the directory's operating mode.
+func (d *Directory) Mode() Mode { return d.mode }
+
+// pairKey derives the symmetric AES-128 key shared by nodes a and b.
+func pairKey(a, b types.NodeID) []byte {
+	if a > b {
+		a, b = b, a
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf("resilientdb-mac-%d-%d", a, b)))
+	return sum[:16]
+}
+
+// Suite binds the directory to one node and, optionally, to a CPU-charging
+// callback. Every protocol implementation performs its cryptography through
+// a Suite; the network simulator installs a charger so each operation
+// advances the node's virtual CPU clock.
+type Suite struct {
+	dir    *Directory
+	id     types.NodeID
+	costs  Costs
+	charge func(time.Duration)
+	cmacs  map[types.NodeID]*CMAC
+}
+
+// NewSuite returns a suite for node id. charge may be nil (no CPU
+// accounting, e.g. in the real-time fabric where time is real).
+func NewSuite(dir *Directory, id types.NodeID, costs Costs, charge func(time.Duration)) *Suite {
+	return &Suite{dir: dir, id: id, costs: costs, charge: charge,
+		cmacs: make(map[types.NodeID]*CMAC)}
+}
+
+// ID returns the node this suite signs for.
+func (s *Suite) ID() types.NodeID { return s.id }
+
+func (s *Suite) bill(d time.Duration) {
+	if s.charge != nil && d > 0 {
+		s.charge(d)
+	}
+}
+
+// fastTag computes the Fast-mode stand-in for a signature by signer over
+// payload: a truncated SHA-256 keyed by the signer identity.
+func fastTag(signer types.NodeID, payload []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{'f', 's'})
+	h.Write(types.U64Bytes(uint64(uint32(signer))))
+	h.Write(payload)
+	return h.Sum(nil)[:16]
+}
+
+// Sign produces a digital signature of payload by this node.
+func (s *Suite) Sign(payload []byte) []byte {
+	s.bill(s.costs.Sign)
+	if s.dir.mode == Real {
+		return ed25519.Sign(s.dir.priv[s.id], payload)
+	}
+	return fastTag(s.id, payload)
+}
+
+// Verify reports whether sig is signer's signature over payload.
+func (s *Suite) Verify(signer types.NodeID, payload, sig []byte) bool {
+	s.bill(s.costs.Verify)
+	if s.dir.mode == Real {
+		pub, ok := s.dir.pub[signer]
+		return ok && ed25519.Verify(pub, payload, sig)
+	}
+	want := fastTag(signer, payload)
+	return len(sig) == len(want) && subtle.ConstantTimeCompare(want, sig) == 1
+}
+
+func (s *Suite) cmacFor(peer types.NodeID) *CMAC {
+	c := s.cmacs[peer]
+	if c == nil {
+		var err error
+		c, err = NewCMAC(pairKey(s.id, peer))
+		if err != nil {
+			panic("crypto: AES key setup: " + err.Error())
+		}
+		s.cmacs[peer] = c
+	}
+	return c
+}
+
+// MAC computes the authentication tag for a message to peer.
+func (s *Suite) MAC(peer types.NodeID, payload []byte) []byte {
+	s.bill(s.costs.MAC)
+	if s.dir.mode == Real {
+		tag := s.cmacFor(peer).Sum(payload)
+		return tag[:]
+	}
+	return fastTag(s.id^peer, payload)
+}
+
+// VerifyMAC reports whether tag authenticates payload on the channel with
+// peer.
+func (s *Suite) VerifyMAC(peer types.NodeID, payload, tag []byte) bool {
+	s.bill(s.costs.VerifyMAC)
+	if s.dir.mode == Real {
+		return s.cmacFor(peer).Verify(payload, tag)
+	}
+	want := fastTag(s.id^peer, payload)
+	return len(tag) == len(want) && subtle.ConstantTimeCompare(want, tag) == 1
+}
+
+// Hash computes (and charges for) a SHA-256 digest of payload.
+func (s *Suite) Hash(payload []byte) types.Digest {
+	s.ChargeHash(len(payload))
+	return types.Hash(payload)
+}
+
+// ChargeHash charges the CPU cost of hashing n bytes without hashing.
+func (s *Suite) ChargeHash(n int) {
+	if s.costs.HashPerKB > 0 {
+		s.bill(s.costs.HashPerKB * time.Duration(n+1023) / 1024)
+	}
+}
+
+// ChargeSign charges the cost of producing one signature without computing
+// it.
+func (s *Suite) ChargeSign() { s.bill(s.costs.Sign) }
+
+// ChargeVerify charges the cost of verifying one signature without
+// verifying it (used where simulated peers are known-honest but the CPU
+// cost must still be modelled).
+func (s *Suite) ChargeVerify() { s.bill(s.costs.Verify) }
+
+// ChargeMAC charges the cost of producing one MAC tag without computing it.
+// Protocol hot paths use this for the per-message authenticators whose
+// actual bytes are irrelevant to a simulation's outcome.
+func (s *Suite) ChargeMAC() { s.bill(s.costs.MAC) }
+
+// ChargeVerifyMAC charges the cost of verifying one MAC tag.
+func (s *Suite) ChargeVerifyMAC() { s.bill(s.costs.VerifyMAC) }
+
+// ChargeExec charges the cost of applying n transactions to the store.
+func (s *Suite) ChargeExec(n int) { s.bill(s.costs.ExecTxn * time.Duration(n)) }
+
+// Costs exposes the suite's cost model.
+func (s *Suite) Costs() Costs { return s.costs }

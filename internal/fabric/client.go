@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// Client is a networked fabric client: it submits transaction batches to
+// its local cluster and waits for f+1 matching replies, exactly like the
+// paper's clients (Section 2.4).
+type Client struct {
+	fab     *Fabric
+	id      types.NodeID
+	cluster int
+	inbox   <-chan transport.Envelope
+
+	mu      sync.Mutex
+	nextSeq uint64
+	waiters map[uint64]*waiter
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+type waiter struct {
+	acks map[types.NodeID]bool
+	done chan struct{}
+	need int
+}
+
+// NewClient registers client index i (home cluster i mod z) on the fabric.
+func (f *Fabric) NewClient(i int) *Client {
+	c := &Client{
+		fab:     f,
+		id:      config.ClientID(i),
+		cluster: i % f.cfg.Topo.Clusters,
+		waiters: make(map[uint64]*waiter),
+		quit:    make(chan struct{}),
+	}
+	c.inbox = f.tr.Register(c.id)
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+func (c *Client) loop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case env, ok := <-c.inbox:
+			if !ok {
+				return
+			}
+			rep, isReply := env.Msg.(*proto.Reply)
+			if !isReply {
+				continue
+			}
+			if int(c.fab.cfg.Topo.ClusterOf(env.From)) != c.cluster {
+				continue // only the local cluster informs us
+			}
+			c.mu.Lock()
+			w := c.waiters[rep.ClientSeq]
+			if w != nil && !w.acks[env.From] {
+				w.acks[env.From] = true
+				if len(w.acks) == w.need {
+					close(w.done)
+					delete(c.waiters, rep.ClientSeq)
+				}
+			}
+			c.mu.Unlock()
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// ErrTimeout is returned when a submission is not confirmed in time.
+var ErrTimeout = errors.New("fabric: submission timed out")
+
+// Submit sends one batch of transactions to the client's local cluster and
+// blocks until f+1 replicas confirm execution or timeout elapses.
+func (c *Client) Submit(txns []types.Transaction, timeout time.Duration) error {
+	c.mu.Lock()
+	c.nextSeq++
+	seq := c.nextSeq
+	w := &waiter{
+		acks: make(map[types.NodeID]bool),
+		done: make(chan struct{}),
+		need: c.fab.cfg.Topo.F() + 1,
+	}
+	c.waiters[seq] = w
+	c.mu.Unlock()
+
+	b := types.Batch{Client: c.id, Seq: seq, Txns: txns}
+	req := &pbft.Request{Batch: b}
+	primary := c.fab.cfg.Topo.ReplicaID(c.cluster, 0)
+	c.fab.tr.Send(c.id, primary, req)
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	retryEvery := timeout / 10
+	if retryEvery > time.Second {
+		retryEvery = time.Second
+	}
+	retry := time.NewTicker(retryEvery)
+	defer retry.Stop()
+	for {
+		select {
+		case <-w.done:
+			return nil
+		case <-retry.C:
+			// Rebroadcast to the whole local cluster; backups forward to the
+			// current primary (handles primary failure).
+			for _, m := range c.fab.cfg.Topo.ClusterMembers(c.cluster) {
+				c.fab.tr.Send(c.id, m, req)
+			}
+		case <-deadline.C:
+			c.mu.Lock()
+			delete(c.waiters, seq)
+			c.mu.Unlock()
+			return ErrTimeout
+		case <-c.quit:
+			return errors.New("fabric: client closed")
+		}
+	}
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	close(c.quit)
+	c.wg.Wait()
+}

@@ -1,0 +1,340 @@
+// Package fabric is the real-time ResilientDB node runtime: the
+// multi-threaded, pipelined architecture of the paper's Figure 9 built from
+// goroutines and bounded channels. Each replica runs
+//
+//	input → (batching) → worker → output
+//
+// stages: input goroutines receive and classify messages from the
+// transport; the batching stage (primaries only) groups client transactions
+// into consensus batches; the worker owns the deterministic GeoBFT state
+// machine (local replication, certification, ordering and execution); and
+// output goroutines drain the send queue to the transport. Timers are real
+// (time.AfterFunc) and re-enter the worker queue, so the protocol cores stay
+// single-threaded and identical to the ones the simulator drives.
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/core"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// Config parameterizes a fabric deployment.
+type Config struct {
+	// Topo is the clustered deployment shape.
+	Topo config.Topology
+	// BatchSize is the number of client transactions per consensus batch.
+	BatchSize int
+	// Records sizes the YCSB-style table.
+	Records int
+	// Mode selects real or fast cryptography (default Real: this is the
+	// production path).
+	Mode crypto.Mode
+	// OnExecute, if set, observes every executed batch at every replica.
+	OnExecute func(replica types.NodeID, round uint64, cluster types.ClusterID, batch types.Batch)
+	// LocalTimeout / RemoteTimeout mirror core.Config.
+	LocalTimeout  time.Duration
+	RemoteTimeout time.Duration
+	// Latency, if set, injects one-way delays between nodes (emulating a
+	// geo-distributed deployment in-process).
+	Latency func(from, to types.NodeID) time.Duration
+}
+
+// Fabric is a running deployment: all replicas plus the shared transport.
+type Fabric struct {
+	cfg   Config
+	tr    *transport.Mem
+	dir   *crypto.Directory
+	nodes map[types.NodeID]*Node
+	mu    sync.Mutex
+	nextC int
+}
+
+// New builds and starts a fabric deployment.
+func New(cfg Config) *Fabric {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 100
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 1024
+	}
+	if cfg.LocalTimeout == 0 {
+		cfg.LocalTimeout = 2 * time.Second
+	}
+	if cfg.RemoteTimeout == 0 {
+		cfg.RemoteTimeout = 3 * time.Second
+	}
+	tr := transport.NewMem()
+	tr.Latency = cfg.Latency
+	f := &Fabric{cfg: cfg, tr: tr, nodes: make(map[types.NodeID]*Node)}
+
+	ids := cfg.Topo.AllReplicas()
+	f.dir = crypto.NewDirectory(cfg.Mode, append(ids, clientIDs(64)...))
+	for _, id := range ids {
+		f.nodes[id] = newNode(f, id)
+	}
+	for _, n := range f.nodes {
+		n.start()
+	}
+	return f
+}
+
+func clientIDs(n int) []types.NodeID {
+	out := make([]types.NodeID, n)
+	for i := range out {
+		out[i] = config.ClientID(i)
+	}
+	return out
+}
+
+// Node returns the replica runtime for id.
+func (f *Fabric) Node(id types.NodeID) *Node { return f.nodes[id] }
+
+// Replica returns the GeoBFT state machine of a replica (read access should
+// happen after Stop, or tolerate racing the worker).
+func (f *Fabric) Replica(id types.NodeID) *core.Replica { return f.nodes[id].replica }
+
+// Stop shuts down every node and the transport.
+func (f *Fabric) Stop() {
+	for _, n := range f.nodes {
+		n.stop()
+	}
+	f.tr.Close()
+}
+
+// Crash fault-injects a replica: its pipeline halts and all traffic to it
+// is silently dropped, like a crashed machine.
+func (f *Fabric) Crash(id types.NodeID) {
+	if n := f.nodes[id]; n != nil {
+		n.stop()
+	}
+}
+
+// Node is one replica's runtime: the Figure 9 pipeline around a GeoBFT
+// state machine.
+type Node struct {
+	fab     *Fabric
+	id      types.NodeID
+	replica *core.Replica
+	env     *nodeEnv
+
+	inbox  <-chan transport.Envelope
+	workQ  chan func()
+	outQ   chan transport.Envelope
+	batchQ chan types.Transaction
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newNode(f *Fabric, id types.NodeID) *Node {
+	n := &Node{
+		fab:    f,
+		id:     id,
+		inbox:  f.tr.Register(id),
+		workQ:  make(chan func(), 8192),
+		outQ:   make(chan transport.Envelope, 8192),
+		batchQ: make(chan types.Transaction, 65536),
+		quit:   make(chan struct{}),
+	}
+	n.env = &nodeEnv{node: n, start: time.Now()}
+	n.env.suite = crypto.NewSuite(f.dir, id, crypto.FreeCosts(), nil)
+	n.env.rng = rand.New(rand.NewSource(int64(id) + 1))
+	ccfg := core.Config{
+		Topo:          f.cfg.Topo,
+		Self:          id,
+		Records:       f.cfg.Records,
+		LocalTimeout:  f.cfg.LocalTimeout,
+		RemoteTimeout: f.cfg.RemoteTimeout,
+		ClientCluster: func(cl types.NodeID) int {
+			return int(cl-types.ClientIDBase) % f.cfg.Topo.Clusters
+		},
+	}
+	if f.cfg.OnExecute != nil {
+		hook := f.cfg.OnExecute
+		ccfg.OnExecute = func(round uint64, cluster types.ClusterID, batch types.Batch) {
+			hook(id, round, cluster, batch)
+		}
+	}
+	n.replica = core.NewReplica(ccfg)
+	return n
+}
+
+func (n *Node) start() {
+	n.post(func() { n.replica.InitEnv(n.env) })
+
+	// Worker: owns the state machine; the single consumer of workQ.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case fn := <-n.workQ:
+				fn()
+			case <-n.quit:
+				return
+			}
+		}
+	}()
+
+	// Input threads: receive, classify, enqueue (two, as in Figure 9).
+	for i := 0; i < 2; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case env, ok := <-n.inbox:
+					if !ok {
+						return
+					}
+					e := env
+					n.post(func() { n.replica.Receive(e.From, e.Msg) })
+				case <-n.quit:
+					return
+				}
+			}
+		}()
+	}
+
+	// Batching thread (primaries group client transactions into batches).
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		var buf []types.Transaction
+		var seq uint64
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			seq++
+			b := types.Batch{Client: n.id, Seq: seq, Txns: buf}
+			buf = nil
+			n.post(func() { n.replica.SubmitBatch(b) })
+		}
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case t := <-n.batchQ:
+				buf = append(buf, t)
+				if len(buf) >= n.fab.cfg.BatchSize {
+					flush()
+				}
+			case <-ticker.C:
+				flush()
+			case <-n.quit:
+				return
+			}
+		}
+	}()
+
+	// Output threads (two, as in Figure 9).
+	for i := 0; i < 2; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case env := <-n.outQ:
+					n.fab.tr.Send(n.id, env.From, env.Msg) // From repurposed as dest
+				case <-n.quit:
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (n *Node) stop() {
+	n.stopOnce.Do(func() { close(n.quit) })
+	n.wg.Wait()
+}
+
+func (n *Node) post(fn func()) {
+	select {
+	case n.workQ <- fn:
+	case <-n.quit:
+	}
+}
+
+// SubmitTxns hands raw client transactions to this node's batching stage
+// (application-embedded clients; networked clients go through the
+// transport).
+func (n *Node) SubmitTxns(txns []types.Transaction) {
+	for _, t := range txns {
+		select {
+		case n.batchQ <- t:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// nodeEnv adapts the pipeline to proto.Env for the state machine.
+type nodeEnv struct {
+	node  *Node
+	suite *crypto.Suite
+	rng   *rand.Rand
+	start time.Time
+}
+
+// ID implements proto.Env.
+func (e *nodeEnv) ID() types.NodeID { return e.node.id }
+
+// Now implements proto.Env.
+func (e *nodeEnv) Now() time.Duration { return time.Since(e.start) }
+
+// Send implements proto.Env: non-blocking enqueue to the output stage.
+func (e *nodeEnv) Send(to types.NodeID, m types.Message) {
+	select {
+	case e.node.outQ <- transport.Envelope{From: to, Msg: m}:
+	default: // full output queue behaves like a dropped datagram
+	}
+}
+
+// SetTimer implements proto.Env with a real timer that re-enters the worker
+// queue.
+func (e *nodeEnv) SetTimer(d time.Duration, fn func()) proto.Timer {
+	var stopped sync.Once
+	done := make(chan struct{})
+	t := time.AfterFunc(d, func() {
+		select {
+		case <-done:
+		default:
+			e.node.post(fn)
+		}
+	})
+	return &realTimer{t: t, stop: func() { stopped.Do(func() { close(done) }) }}
+}
+
+type realTimer struct {
+	t    *time.Timer
+	stop func()
+}
+
+func (r *realTimer) Stop() {
+	r.stop()
+	r.t.Stop()
+}
+
+// Defer implements proto.Env.
+func (e *nodeEnv) Defer(fn func()) { e.node.post(fn) }
+
+// Charge implements proto.Env (real time: CPU is charged by actually
+// spending it).
+func (e *nodeEnv) Charge(time.Duration) {}
+
+// Suite implements proto.Env.
+func (e *nodeEnv) Suite() *crypto.Suite { return e.suite }
+
+// Rand implements proto.Env.
+func (e *nodeEnv) Rand() *rand.Rand { return e.rng }

@@ -1,0 +1,152 @@
+package fabric_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/types"
+)
+
+func startFabric(t *testing.T, z, n int) *fabric.Fabric {
+	t.Helper()
+	return fabric.New(fabric.Config{
+		Topo:          config.NewTopology(z, n),
+		BatchSize:     5,
+		Records:       256,
+		LocalTimeout:  400 * time.Millisecond,
+		RemoteTimeout: 700 * time.Millisecond,
+	})
+}
+
+func TestFabricEndToEnd(t *testing.T) {
+	f := startFabric(t, 2, 4)
+	defer f.Stop()
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < 2; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := f.NewClient(ci)
+			defer cl.Close()
+			for b := 0; b < 6; b++ {
+				txns := []types.Transaction{
+					{Key: uint64(ci*1000 + b*2), Value: uint64(b)},
+					{Key: uint64(ci*1000 + b*2 + 1), Value: uint64(b)},
+				}
+				if err := cl.Submit(txns, 20*time.Second); err != nil {
+					t.Errorf("client %d batch %d: %v", ci, b, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond)
+	f.Stop()
+
+	topo := config.NewTopology(2, 4)
+	ref := f.Replica(topo.ReplicaID(0, 0))
+	if ref.Ledger().Height() == 0 {
+		t.Fatal("empty ledger after submissions")
+	}
+	if err := ref.Ledger().Verify(); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+	for _, id := range topo.AllReplicas() {
+		r := f.Replica(id)
+		if r.Ledger().Head() != ref.Ledger().Head() {
+			t.Errorf("%v ledger head differs (h=%d vs %d)",
+				id, r.Ledger().Height(), ref.Ledger().Height())
+		}
+		if r.Store().Digest() != ref.Store().Digest() {
+			t.Errorf("%v store digest differs", id)
+		}
+	}
+}
+
+func TestFabricExecuteHook(t *testing.T) {
+	var mu sync.Mutex
+	executed := make(map[types.NodeID]int)
+	f := fabric.New(fabric.Config{
+		Topo:      config.NewTopology(1, 4),
+		BatchSize: 4,
+		Records:   64,
+		OnExecute: func(replica types.NodeID, _ uint64, _ types.ClusterID, batch types.Batch) {
+			if !batch.NoOp {
+				mu.Lock()
+				executed[replica] += batch.Len()
+				mu.Unlock()
+			}
+		},
+	})
+	defer f.Stop()
+	cl := f.NewClient(0)
+	defer cl.Close()
+	if err := cl.Submit([]types.Transaction{{Key: 1, Value: 2}, {Key: 3, Value: 4}}, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	hooked := 0
+	for _, n := range executed {
+		if n >= 2 {
+			hooked++
+		}
+	}
+	if hooked < 3 { // f+1 = 2 needed for the reply; most replicas execute
+		t.Errorf("execute hook fired at %d replicas", hooked)
+	}
+}
+
+func TestFabricPrimaryCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time recovery test")
+	}
+	f := startFabric(t, 2, 4)
+	defer f.Stop()
+	topo := config.NewTopology(2, 4)
+
+	cl := f.NewClient(0)
+	defer cl.Close()
+	if err := cl.Submit([]types.Transaction{{Key: 1, Value: 1}}, 20*time.Second); err != nil {
+		t.Fatalf("pre-crash: %v", err)
+	}
+
+	f.Crash(topo.ReplicaID(0, 0))
+
+	for b := 0; b < 3; b++ {
+		if err := cl.Submit([]types.Transaction{{Key: uint64(10 + b), Value: 1}}, 60*time.Second); err != nil {
+			t.Fatalf("post-crash batch %d: %v", b, err)
+		}
+	}
+	if v := f.Replica(topo.ReplicaID(0, 1)).Local().View(); v == 0 {
+		t.Error("cluster 0 never changed view after primary crash")
+	}
+}
+
+func TestFabricBatchingViaSubmitTxns(t *testing.T) {
+	f := startFabric(t, 1, 4)
+	defer f.Stop()
+	topo := config.NewTopology(1, 4)
+	node := f.Node(topo.ReplicaID(0, 0))
+	txns := make([]types.Transaction, 20)
+	for i := range txns {
+		txns[i] = types.Transaction{Key: uint64(i), Value: uint64(i)}
+	}
+	node.SubmitTxns(txns)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Replica(topo.ReplicaID(0, 1)).ExecutedTxns() >= 20 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("batching stage did not drive execution: %d txns",
+		f.Replica(topo.ReplicaID(0, 1)).ExecutedTxns())
+}

@@ -1,0 +1,549 @@
+// Package hotstuff implements the HotStuff BFT protocol (Yin et al.) in the
+// configuration the ResilientDB paper evaluates (Section 3, "Other
+// protocols"): no threshold signatures — quorum certificates carry n−f
+// individual signatures that every replica verifies — and every replica acts
+// as a primary in parallel without pacemaker-based synchronization. Each
+// replica leads its own chain of slots; decisions interleave round-robin
+// across chains into a single deterministic execution order, and each
+// decision passes through HotStuff's four phases (prepare, precommit,
+// commit, decide).
+//
+// The four-phase design yields the high client latency the paper reports,
+// and per-QC signature verification yields its high computational cost;
+// the parallel-primaries configuration removes the single-leader bandwidth
+// bottleneck, which is why HotStuff scales with batch size in Figure 13.
+//
+// Liveness simplification (documented in EXPERIMENTS.md): a chain whose
+// leader stops proposing is skipped by quorum agreement on a no-op, standing
+// in for the pacemaker's leader rotation under crash faults.
+package hotstuff
+
+import (
+	"time"
+
+	"resilientdb/internal/kvstore"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+)
+
+// Phase enumerates HotStuff's vote phases.
+type Phase uint8
+
+// The three voting phases; the fourth broadcast (decide) carries the final
+// QC.
+const (
+	PhasePrepare Phase = iota
+	PhasePreCommit
+	PhaseCommit
+)
+
+// Request carries a client batch to its chosen leader.
+type Request struct {
+	Batch types.Batch
+}
+
+func (*Request) MsgType() string { return "hotstuff/request" }
+
+// WireSize implements types.Message.
+func (r *Request) WireSize() int { return r.Batch.WireSize() }
+
+// Propose opens a slot on the leader's chain.
+type Propose struct {
+	Leader types.NodeID
+	Slot   uint64
+	Batch  types.Batch
+}
+
+func (*Propose) MsgType() string { return "hotstuff/propose" }
+
+// WireSize implements types.Message.
+func (p *Propose) WireSize() int { return types.HeaderBytes + p.Batch.WireSize() }
+
+// Vote is a replica's signed phase vote, sent to the slot's leader.
+type Vote struct {
+	Leader  types.NodeID
+	Slot    uint64
+	Phase   Phase
+	Digest  types.Digest
+	Replica types.NodeID
+	Sig     []byte
+}
+
+func (*Vote) MsgType() string { return "hotstuff/vote" }
+
+// WireSize implements types.Message.
+func (*Vote) WireSize() int { return types.ControlBytes }
+
+// QC is a quorum certificate: n−f signatures over one phase of one slot.
+// Without threshold signatures it carries each signature individually.
+type QC struct {
+	Leader  types.NodeID
+	Slot    uint64
+	Phase   Phase
+	Digest  types.Digest
+	Signers []types.NodeID
+	Sigs    [][]byte
+}
+
+func (*QC) MsgType() string { return "hotstuff/qc" }
+
+// WireSize implements types.Message.
+func (q *QC) WireSize() int { return types.HeaderBytes + len(q.Sigs)*types.SigBytes }
+
+// votePayload is the signed content of a phase vote.
+func votePayload(leader types.NodeID, slot uint64, phase Phase, digest types.Digest) []byte {
+	enc := types.NewEncoder(64)
+	enc.String("hs/VOTE")
+	enc.I32(int32(leader))
+	enc.U64(slot)
+	enc.U8(uint8(phase))
+	enc.Digest(digest)
+	return enc.Bytes()
+}
+
+// SkipVote proposes treating a stalled chain's slot as a no-op (crash-fault
+// liveness stand-in for the pacemaker).
+type SkipVote struct {
+	Leader  types.NodeID
+	Slot    uint64
+	Replica types.NodeID
+	Sig     []byte
+}
+
+func (*SkipVote) MsgType() string { return "hotstuff/skipvote" }
+
+// WireSize implements types.Message.
+func (*SkipVote) WireSize() int { return types.ControlBytes }
+
+func skipPayload(leader types.NodeID, slot uint64) []byte {
+	enc := types.NewEncoder(32)
+	enc.String("hs/SKIP")
+	enc.I32(int32(leader))
+	enc.U64(slot)
+	return enc.Bytes()
+}
+
+// Config parameterizes a HotStuff replica.
+type Config struct {
+	Members []types.NodeID
+	Self    types.NodeID
+	F       int
+	Records int
+	// SkipTimeout is how long a blocking undecided slot may stall before
+	// replicas vote to skip it.
+	SkipTimeout time.Duration
+	// PipelinePerChain is how many slots a leader keeps in flight on its own
+	// chain, the moral equivalent of chained HotStuff's pipelining. Zero
+	// selects 16.
+	PipelinePerChain int
+}
+
+// slot tracks one consensus instance on one chain.
+type slot struct {
+	batch      types.Batch
+	digest     types.Digest
+	proposed   bool
+	proposedAt time.Duration
+	votes      [3]map[types.NodeID][]byte // leader side, per phase
+	qcSent     [3]bool
+	phaseOK    [3]bool // replica side: verified QC per phase
+	decided    bool
+	skipped    bool
+	skips      map[types.NodeID]bool
+}
+
+// Replica is a HotStuff replica leading its own chain while participating
+// in every other chain.
+type Replica struct {
+	cfg Config
+	env proto.Env
+
+	chains   map[types.NodeID]map[uint64]*slot
+	myNext   uint64 // next slot to propose on own chain
+	openOwn  int    // own-chain slots proposed but not yet decided
+	maxSeen  uint64 // highest slot observed on any chain
+	queue    []types.Batch
+	executed uint64 // global slot cursor: chain index rotates fastest
+	store    *kvstore.Store
+	ledger   *ledger.Ledger
+	skipTmr  proto.Timer
+	skipFor  uint64
+	noopSeq  uint64
+}
+
+// NewReplica constructs a replica; call Init before use.
+func NewReplica(cfg Config) *Replica {
+	if cfg.SkipTimeout == 0 {
+		cfg.SkipTimeout = 3 * time.Second
+	}
+	if cfg.PipelinePerChain == 0 {
+		cfg.PipelinePerChain = 16
+	}
+	return &Replica{cfg: cfg}
+}
+
+// Init implements simnet.Handler.
+func (r *Replica) Init(env *simnet.Env) { r.InitEnv(proto.WrapSim(env)) }
+
+// InitEnv wires the replica to an environment.
+func (r *Replica) InitEnv(env proto.Env) {
+	r.env = env
+	r.store = kvstore.New(r.cfg.Records)
+	r.ledger = ledger.New()
+	r.chains = make(map[types.NodeID]map[uint64]*slot)
+	for _, m := range r.cfg.Members {
+		r.chains[m] = make(map[uint64]*slot)
+	}
+}
+
+// Ledger exposes the replica's chain.
+func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
+
+// Store exposes the replica's table.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// ExecutedSlots returns the number of globally executed slots.
+func (r *Replica) ExecutedSlots() uint64 { return r.executed }
+
+func (r *Replica) quorum() int { return len(r.cfg.Members) - r.cfg.F }
+
+func (r *Replica) slotAt(leader types.NodeID, n uint64) *slot {
+	s := r.chains[leader][n]
+	if s == nil {
+		s = &slot{skips: make(map[types.NodeID]bool)}
+		for i := range s.votes {
+			s.votes[i] = make(map[types.NodeID][]byte)
+		}
+		r.chains[leader][n] = s
+	}
+	return s
+}
+
+// Receive implements simnet.Handler.
+func (r *Replica) Receive(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.env.Suite().ChargeVerify()
+		r.queue = append(r.queue, m.Batch)
+		r.tryPropose()
+	case *Propose:
+		r.env.Suite().ChargeVerifyMAC()
+		if from != m.Leader && from != r.cfg.Self {
+			return
+		}
+		r.onPropose(m)
+	case *Vote:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onVote(from, m)
+	case *QC:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onQC(m)
+	case *SkipVote:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onSkipVote(from, m)
+	}
+}
+
+// tryPropose opens slots on our own chain, keeping up to PipelinePerChain
+// in flight (the analogue of chained HotStuff's pipelining).
+func (r *Replica) tryPropose() {
+	for len(r.queue) > 0 && r.openOwn < r.cfg.PipelinePerChain {
+		b := r.queue[0]
+		r.queue = r.queue[1:]
+		r.propose(b)
+	}
+}
+
+func (r *Replica) propose(b types.Batch) {
+	r.myNext++
+	r.openOwn++
+	if r.myNext > r.maxSeen {
+		r.maxSeen = r.myNext
+	}
+	p := &Propose{Leader: r.cfg.Self, Slot: r.myNext, Batch: b}
+	for _, peer := range r.cfg.Members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, p)
+		}
+	}
+	r.onPropose(p)
+}
+
+func (r *Replica) onPropose(m *Propose) {
+	s := r.slotAt(m.Leader, m.Slot)
+	if s.proposed || s.skipped {
+		return
+	}
+	s.proposed = true
+	s.proposedAt = r.env.Now()
+	s.batch = m.Batch
+	s.digest = m.Batch.Digest()
+	if m.Slot > r.maxSeen {
+		r.maxSeen = m.Slot
+		// Execution interleaves all chains round-robin, so an idle chain
+		// holds every other chain back: leaders without client load keep
+		// pace with no-ops (mirroring GeoBFT's Section 2.5 mechanism).
+		r.fillToMaxSeen()
+	}
+	r.castVote(m.Leader, m.Slot, PhasePrepare, s.digest)
+}
+
+// fillToMaxSeen proposes batches (or no-ops when the queue is empty) until
+// our own chain has reached the most advanced chain's slot.
+func (r *Replica) fillToMaxSeen() {
+	for r.myNext < r.maxSeen {
+		if len(r.queue) > 0 {
+			b := r.queue[0]
+			r.queue = r.queue[1:]
+			r.propose(b)
+			continue
+		}
+		r.noopSeq++
+		r.propose(types.Batch{Client: r.cfg.Self, Seq: r.noopSeq, NoOp: true})
+	}
+}
+
+func (r *Replica) castVote(leader types.NodeID, n uint64, phase Phase, digest types.Digest) {
+	sig := r.env.Suite().Sign(votePayload(leader, n, phase, digest))
+	v := &Vote{Leader: leader, Slot: n, Phase: phase, Digest: digest, Replica: r.cfg.Self, Sig: sig}
+	if leader == r.cfg.Self {
+		r.onVote(r.cfg.Self, v)
+		return
+	}
+	r.env.Suite().ChargeMAC()
+	r.env.Send(leader, v)
+}
+
+// onVote runs at the slot's leader: collect n−f signed votes per phase,
+// verify them, and broadcast the phase QC.
+func (r *Replica) onVote(from types.NodeID, m *Vote) {
+	if m.Leader != r.cfg.Self || m.Replica != from || int(m.Phase) > 2 {
+		return
+	}
+	s := r.slotAt(r.cfg.Self, m.Slot)
+	if s.skipped || s.qcSent[m.Phase] {
+		return
+	}
+	set := s.votes[m.Phase]
+	if set[from] != nil {
+		return
+	}
+	// The leader verifies each vote signature (no threshold aggregation).
+	if !r.env.Suite().Verify(from, votePayload(m.Leader, m.Slot, m.Phase, m.Digest), m.Sig) {
+		return
+	}
+	set[from] = m.Sig
+	if len(set) < r.quorum() {
+		return
+	}
+	s.qcSent[m.Phase] = true
+	qc := &QC{Leader: r.cfg.Self, Slot: m.Slot, Phase: m.Phase, Digest: s.digest}
+	for id, sig := range set {
+		qc.Signers = append(qc.Signers, id)
+		qc.Sigs = append(qc.Sigs, sig)
+	}
+	for _, peer := range r.cfg.Members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, qc)
+		}
+	}
+	r.onQC(qc)
+}
+
+// onQC runs at every replica and advances the slot's phase; the
+// commit-phase QC decides the slot. Mirroring the paper's implementation —
+// which "skips the construction and verification of threshold signatures"
+// (Section 3) — intermediate QCs are accepted on signer count, and only the
+// deciding QC has f+1 of its signatures verified (at least one of which is
+// then from a non-faulty replica).
+func (r *Replica) onQC(m *QC) {
+	if int(m.Phase) > 2 || len(m.Signers) < r.quorum() || len(m.Signers) != len(m.Sigs) {
+		return
+	}
+	s := r.slotAt(m.Leader, m.Slot)
+	if s.skipped || s.decided || s.phaseOK[m.Phase] {
+		return
+	}
+	seen := make(map[types.NodeID]bool)
+	for _, id := range m.Signers {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+	}
+	if m.Phase == PhaseCommit {
+		payload := votePayload(m.Leader, m.Slot, m.Phase, m.Digest)
+		for i := 0; i <= r.cfg.F && i < len(m.Signers); i++ {
+			if !r.env.Suite().Verify(m.Signers[i], payload, m.Sigs[i]) {
+				return
+			}
+		}
+	}
+	s.phaseOK[m.Phase] = true
+	if !s.proposed {
+		// QC before the proposal (possible for non-leader replicas under
+		// reordering): remember the digest; the proposal will follow.
+		s.digest = m.Digest
+	}
+	switch m.Phase {
+	case PhasePrepare:
+		r.castVote(m.Leader, m.Slot, PhasePreCommit, m.Digest)
+	case PhasePreCommit:
+		r.castVote(m.Leader, m.Slot, PhaseCommit, m.Digest)
+	case PhaseCommit:
+		s.decided = true
+		if m.Leader == r.cfg.Self && r.openOwn > 0 {
+			r.openOwn--
+		}
+		r.tryExecute()
+		if m.Leader == r.cfg.Self {
+			r.tryPropose()
+		}
+	}
+}
+
+// globalCursor maps the executed counter to (chain leader, slot).
+func (r *Replica) globalCursor() (types.NodeID, uint64) {
+	n := uint64(len(r.cfg.Members))
+	return r.cfg.Members[r.executed%n], r.executed/n + 1
+}
+
+// tryExecute executes decided slots in the global round-robin order.
+func (r *Replica) tryExecute() {
+	for {
+		leader, slotNo := r.globalCursor()
+		s := r.chains[leader][slotNo]
+		// A chain with no load blocks the global order; its leader fills
+		// with a no-op once it sees other chains pulling ahead.
+		if s == nil || (!s.decided && !s.skipped) {
+			if leader == r.cfg.Self && (s == nil || !s.proposed) && slotNo == r.myNext+1 {
+				if len(r.queue) > 0 {
+					r.tryPropose()
+				} else if r.chainsAhead(slotNo) {
+					r.noopSeq++
+					r.propose(types.Batch{Client: r.cfg.Self, Seq: r.noopSeq, NoOp: true})
+				}
+			}
+			r.armSkipTimer()
+			return
+		}
+		if !s.skipped {
+			batch := s.batch
+			r.env.Suite().ChargeExec(batch.Len())
+			r.store.ApplyBatch(&batch)
+			r.ledger.Append(slotNo, types.ClusterID(r.executed%uint64(len(r.cfg.Members))), batch, s.digest)
+			if !batch.NoOp && batch.Client.IsClient() {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(batch.Client, &proto.Reply{
+					Client: batch.Client, ClientSeq: batch.Seq,
+					Replica: r.cfg.Self, TxnCount: batch.Len(), Result: s.digest,
+				})
+			}
+		}
+		delete(r.chains[leader], slotNo)
+		r.executed++
+	}
+}
+
+// chainsAhead reports whether another chain has decided a slot ≥ slotNo,
+// i.e. our own idle chain is holding back execution.
+func (r *Replica) chainsAhead(slotNo uint64) bool {
+	for leader, chain := range r.chains {
+		if leader == r.cfg.Self {
+			continue
+		}
+		for n, s := range chain {
+			if n >= slotNo && (s.decided || s.proposed) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- crash-fault chain skipping ---------------------------------------------
+
+func (r *Replica) armSkipTimer() {
+	blocking := r.executed
+	if r.skipTmr != nil {
+		if r.skipFor == blocking {
+			return
+		}
+		r.skipTmr.Stop()
+	}
+	r.skipFor = blocking
+	r.skipTmr = r.env.SetTimer(r.cfg.SkipTimeout, func() {
+		r.skipTmr = nil
+		if r.executed != blocking {
+			return
+		}
+		// Execution has been stuck for a full timeout: vote to skip the
+		// pending slot of every chain without a live proposal, in parallel
+		// (several leaders may have crashed at once). Proposed slots get a
+		// long grace period — their leader is alive, merely slow.
+		n := uint64(len(r.cfg.Members))
+		for idx, leader := range r.cfg.Members {
+			slotNo := r.executed/n + 1
+			if uint64(idx) < r.executed%n {
+				slotNo++
+			}
+			s := r.slotAt(leader, slotNo)
+			if s.decided || s.skipped {
+				continue
+			}
+			if s.proposed && r.env.Now()-s.proposedAt < 4*r.cfg.SkipTimeout {
+				continue
+			}
+			r.voteSkip(leader, slotNo)
+		}
+		r.armSkipTimer()
+	})
+}
+
+func (r *Replica) onSkipVote(from types.NodeID, m *SkipVote) {
+	if m.Replica != from {
+		return
+	}
+	s := r.slotAt(m.Leader, m.Slot)
+	if s.decided || s.skipped || s.skips[from] {
+		return
+	}
+	if !r.env.Suite().Verify(from, skipPayload(m.Leader, m.Slot), m.Sig) {
+		return
+	}
+	s.skips[from] = true
+	if len(s.skips) >= r.quorum() {
+		s.skipped = true
+		if m.Leader == r.cfg.Self && r.openOwn > 0 {
+			r.openOwn--
+		}
+		// A dead chain blocks round-robin execution once per slot; cascade
+		// the skip to its subsequent unproposed slots so a crashed leader
+		// costs one detection timeout, not one per slot.
+		if next := r.chains[m.Leader][m.Slot+1]; (next == nil || !next.proposed) && m.Slot < r.maxSeen {
+			r.voteSkip(m.Leader, m.Slot+1)
+		}
+		r.tryExecute()
+	}
+}
+
+// voteSkip broadcasts this replica's skip vote for one slot.
+func (r *Replica) voteSkip(leader types.NodeID, slotNo uint64) {
+	s := r.slotAt(leader, slotNo)
+	if s.decided || s.skipped || s.skips[r.cfg.Self] {
+		return
+	}
+	sig := r.env.Suite().Sign(skipPayload(leader, slotNo))
+	sv := &SkipVote{Leader: leader, Slot: slotNo, Replica: r.cfg.Self, Sig: sig}
+	for _, peer := range r.cfg.Members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, sv)
+		}
+	}
+	r.onSkipVote(r.cfg.Self, sv)
+}

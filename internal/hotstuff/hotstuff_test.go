@@ -1,0 +1,181 @@
+package hotstuff_test
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/hotstuff"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+	"resilientdb/internal/ycsb"
+)
+
+// hsClient submits to one leader round-robin and waits for f+1 matching
+// replies.
+type hsClient struct {
+	members   []types.NodeID
+	target    types.NodeID
+	f         int
+	total     int
+	window    int
+	batchSize int
+
+	env       *simnet.Env
+	wl        *ycsb.Workload
+	nextSeq   uint64
+	acks      map[uint64]map[types.NodeID]bool
+	done      map[uint64]bool
+	completed int
+}
+
+func (c *hsClient) Init(env *simnet.Env) {
+	c.env = env
+	c.wl = ycsb.NewWorkload(500, ycsb.DefaultTheta, int64(env.ID()))
+	c.acks = make(map[uint64]map[types.NodeID]bool)
+	c.done = make(map[uint64]bool)
+	for i := 0; i < c.window && int(c.nextSeq) < c.total; i++ {
+		c.submit()
+	}
+}
+
+func (c *hsClient) submit() {
+	c.nextSeq++
+	b := c.wl.MakeBatch(c.env.ID(), c.nextSeq, c.batchSize)
+	c.env.Suite().ChargeSign()
+	c.env.Send(c.target, &hotstuff.Request{Batch: b})
+}
+
+func (c *hsClient) Receive(from types.NodeID, msg types.Message) {
+	rep, ok := msg.(*proto.Reply)
+	if !ok || c.done[rep.ClientSeq] {
+		return
+	}
+	set := c.acks[rep.ClientSeq]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		c.acks[rep.ClientSeq] = set
+	}
+	set[from] = true
+	if len(set) >= c.f+1 {
+		c.done[rep.ClientSeq] = true
+		c.completed++
+		if int(c.nextSeq) < c.total {
+			c.submit()
+		}
+	}
+}
+
+func setup(t *testing.T, n, clients, total int, seed int64) (*simnet.Network, []*hotstuff.Replica, []*hsClient) {
+	t.Helper()
+	net := simnet.New(simnet.Options{Profile: config.UniformProfile(1, 0, 1000), Seed: seed})
+	members := make([]types.NodeID, n)
+	for i := range members {
+		members[i] = types.NodeID(i)
+	}
+	f := (n - 1) / 3
+	reps := make([]*hotstuff.Replica, n)
+	for i := range reps {
+		reps[i] = hotstuff.NewReplica(hotstuff.Config{
+			Members: members, Self: members[i], F: f, Records: 500,
+			SkipTimeout: time.Second,
+		})
+		net.AddNode(members[i], 0, reps[i])
+	}
+	var cls []*hsClient
+	for i := 0; i < clients; i++ {
+		cl := &hsClient{
+			members: members, target: members[i%n], f: f,
+			total: total, window: 2, batchSize: 10,
+		}
+		cls = append(cls, cl)
+		net.AddNode(config.ClientID(i), 0, cl)
+	}
+	return net, reps, cls
+}
+
+func TestNormalCaseAllLeadersActive(t *testing.T) {
+	net, reps, cls := setup(t, 4, 4, 10, 3)
+	net.RunUntil(120 * time.Second)
+	for i, c := range cls {
+		if c.completed != c.total {
+			t.Errorf("client %d completed %d/%d", i, c.completed, c.total)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if reps[i].Ledger().Head() != reps[0].Ledger().Head() ||
+			reps[i].Ledger().Height() != reps[0].Ledger().Height() {
+			t.Errorf("replica %d diverged (h=%d vs %d)", i,
+				reps[i].Ledger().Height(), reps[0].Ledger().Height())
+		}
+		if reps[i].Store().Digest() != reps[0].Store().Digest() {
+			t.Errorf("replica %d store diverged", i)
+		}
+	}
+}
+
+func TestSingleClientOtherChainsNoOpFill(t *testing.T) {
+	// Only one leader has client load; the others must fill their slots
+	// with no-ops so the round-robin execution order advances.
+	net, reps, cls := setup(t, 4, 1, 8, 9)
+	net.RunUntil(240 * time.Second)
+	if cls[0].completed != cls[0].total {
+		t.Fatalf("client completed %d/%d", cls[0].completed, cls[0].total)
+	}
+	if reps[0].ExecutedSlots() < 8 {
+		t.Errorf("executed %d slots", reps[0].ExecutedSlots())
+	}
+}
+
+func TestCrashedLeaderChainIsSkipped(t *testing.T) {
+	net, reps, cls := setup(t, 4, 4, 6, 13)
+	net.Crash(3) // kills a leader (and its clients' target)
+	// Client 3 targeted the crashed leader: it cannot complete; others must.
+	net.RunUntil(300 * time.Second)
+	for i := 0; i < 3; i++ {
+		if cls[i].completed != cls[i].total {
+			t.Errorf("client %d completed %d/%d with crashed leader", i, cls[i].completed, cls[i].total)
+		}
+	}
+	for i := 1; i < 3; i++ {
+		if reps[i].Ledger().Head() != reps[0].Ledger().Head() {
+			t.Errorf("replica %d diverged", i)
+		}
+	}
+}
+
+func TestGeoDistributedHotStuff(t *testing.T) {
+	prof := config.GoogleCloudProfile(4)
+	net := simnet.New(simnet.Options{Profile: prof, Seed: 17})
+	n := 8
+	members := make([]types.NodeID, n)
+	for i := range members {
+		members[i] = types.NodeID(i)
+	}
+	reps := make([]*hotstuff.Replica, n)
+	for i := range reps {
+		reps[i] = hotstuff.NewReplica(hotstuff.Config{
+			Members: members, Self: members[i], F: 2, Records: 500,
+			SkipTimeout: 5 * time.Second,
+		})
+		net.AddNode(members[i], i%4, reps[i])
+	}
+	cls := make([]*hsClient, n)
+	for i := range cls {
+		cls[i] = &hsClient{members: members, target: members[i], f: 2,
+			total: 5, window: 1, batchSize: 10}
+		net.AddNode(config.ClientID(i), i%4, cls[i])
+	}
+	net.RunUntil(300 * time.Second)
+	for i, c := range cls {
+		if c.completed != c.total {
+			t.Errorf("client %d completed %d/%d", i, c.completed, c.total)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if reps[i].Ledger().Head() != reps[0].Ledger().Head() {
+			t.Errorf("replica %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package kvstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resilientdb/internal/types"
+)
+
+func TestPreload(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	v, ok := s.Get(42)
+	if !ok || v != 42 {
+		t.Errorf("Get(42) = %d, %v", v, ok)
+	}
+	if _, ok := s.Get(100); ok {
+		t.Error("key 100 should not exist")
+	}
+}
+
+func TestApplyAndDigest(t *testing.T) {
+	a, b := New(10), New(10)
+	if a.Digest() != b.Digest() {
+		t.Fatal("fresh stores differ")
+	}
+	txn := types.Transaction{Key: 3, Value: 77}
+	a.Apply(txn)
+	if a.Digest() == b.Digest() {
+		t.Error("digest unchanged after write")
+	}
+	b.Apply(txn)
+	if a.Digest() != b.Digest() {
+		t.Error("same writes, different digests")
+	}
+	v, _ := a.Get(3)
+	if v != 77 {
+		t.Errorf("Get(3) = %d", v)
+	}
+	if a.Applied() != 1 {
+		t.Errorf("Applied = %d", a.Applied())
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	// The digest is a chain: applying the same writes in different orders
+	// must differ (execution order is part of replicated state).
+	a, b := New(10), New(10)
+	t1 := types.Transaction{Key: 1, Value: 10}
+	t2 := types.Transaction{Key: 1, Value: 20}
+	a.Apply(t1)
+	a.Apply(t2)
+	b.Apply(t2)
+	b.Apply(t1)
+	if a.Digest() == b.Digest() {
+		t.Error("different orders produced the same digest")
+	}
+}
+
+func TestNoOpBatchLeavesStateUntouched(t *testing.T) {
+	s := New(10)
+	before := s.Digest()
+	noop := types.Batch{NoOp: true}
+	s.ApplyBatch(&noop)
+	if s.Digest() != before {
+		t.Error("no-op batch changed state")
+	}
+}
+
+// Property: two stores applying the same batch sequence agree on digest and
+// contents.
+func TestReplicaAgreementProperty(t *testing.T) {
+	f := func(keys []uint64, vals []uint64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n > 100 {
+			n = 100
+		}
+		a, b := New(16), New(16)
+		batch := types.Batch{}
+		for i := 0; i < n; i++ {
+			batch.Txns = append(batch.Txns, types.Transaction{Key: keys[i] % 64, Value: vals[i]})
+		}
+		a.ApplyBatch(&batch)
+		b.ApplyBatch(&batch)
+		if a.Digest() != b.Digest() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			va, _ := a.Get(keys[i] % 64)
+			vb, _ := b.Get(keys[i] % 64)
+			if va != vb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	s := New(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(types.Transaction{Key: uint64(i) % 1000, Value: uint64(i)})
+	}
+}

@@ -1,0 +1,131 @@
+// Package ledger implements the blockchain at the heart of the ResilientDB
+// fabric: an immutable append-only chain in which the i-th block holds the
+// i-th executed request batch together with the commit certificate that
+// proves consensus on it (Section 3, "The ledger"). Each replica maintains
+// a full copy; tampering is detectable by recomputing the hash chain.
+package ledger
+
+import (
+	"fmt"
+
+	"resilientdb/internal/types"
+)
+
+// Block is one entry of the chain. In GeoBFT each round ρ appends z blocks,
+// one per cluster, in the deterministic execution order.
+type Block struct {
+	// Height is the block's position in the chain, starting at 1.
+	Height uint64
+	// Round is the consensus round (sequence number) that produced it.
+	Round uint64
+	// Cluster is the cluster whose request the block holds.
+	Cluster types.ClusterID
+	// Batch is the executed request batch.
+	Batch types.Batch
+	// BatchDigest commits to the batch contents.
+	BatchDigest types.Digest
+	// CertDigest commits to the commit certificate proving consensus.
+	CertDigest types.Digest
+	// Prev is the hash of the previous block (zero for the first block).
+	Prev types.Digest
+	// Hash is the block's own hash over all fields above.
+	Hash types.Digest
+}
+
+// blockHash covers the ordered content of the chain. The commit certificate
+// is deliberately excluded: it is attached evidence whose signer subset may
+// legitimately differ between replicas (any n−f of the commit signatures
+// prove the same decision), so including it would make identical histories
+// hash differently.
+func blockHash(b *Block) types.Digest {
+	enc := types.NewEncoder(128)
+	enc.U64(b.Height)
+	enc.U64(b.Round)
+	enc.I32(int32(b.Cluster))
+	enc.Digest(b.BatchDigest)
+	enc.Digest(b.Prev)
+	return types.Hash(enc.Bytes())
+}
+
+// Ledger is one replica's copy of the chain.
+type Ledger struct {
+	blocks []*Block
+}
+
+// New returns an empty ledger.
+func New() *Ledger { return &Ledger{} }
+
+// Append adds the next block for (round, cluster, batch, certDigest) and
+// returns it.
+func (l *Ledger) Append(round uint64, cluster types.ClusterID, batch types.Batch, certDigest types.Digest) *Block {
+	b := &Block{
+		Height:      uint64(len(l.blocks) + 1),
+		Round:       round,
+		Cluster:     cluster,
+		Batch:       batch,
+		BatchDigest: batch.Digest(),
+		CertDigest:  certDigest,
+	}
+	if len(l.blocks) > 0 {
+		b.Prev = l.blocks[len(l.blocks)-1].Hash
+	}
+	b.Hash = blockHash(b)
+	l.blocks = append(l.blocks, b)
+	return b
+}
+
+// Height returns the number of blocks in the chain.
+func (l *Ledger) Height() uint64 { return uint64(len(l.blocks)) }
+
+// Head returns the hash of the latest block, or the zero digest if empty.
+func (l *Ledger) Head() types.Digest {
+	if len(l.blocks) == 0 {
+		return types.ZeroDigest
+	}
+	return l.blocks[len(l.blocks)-1].Hash
+}
+
+// Block returns the block at the given height (1-based), or nil.
+func (l *Ledger) Block(height uint64) *Block {
+	if height < 1 || height > uint64(len(l.blocks)) {
+		return nil
+	}
+	return l.blocks[height-1]
+}
+
+// Verify checks the full hash chain and block contents, returning an error
+// at the first tampered block. A recovering replica runs this against a
+// ledger it copied from an untrusted peer (Section 3).
+func (l *Ledger) Verify() error {
+	var prev types.Digest
+	for i, b := range l.blocks {
+		if b.Height != uint64(i+1) {
+			return fmt.Errorf("ledger: block %d has height %d", i+1, b.Height)
+		}
+		if b.Prev != prev {
+			return fmt.Errorf("ledger: block %d has broken prev link", b.Height)
+		}
+		if got := b.Batch.Digest(); got != b.BatchDigest {
+			return fmt.Errorf("ledger: block %d batch digest mismatch", b.Height)
+		}
+		if got := blockHash(b); got != b.Hash {
+			return fmt.Errorf("ledger: block %d hash mismatch", b.Height)
+		}
+		prev = b.Hash
+	}
+	return nil
+}
+
+// PrefixOf reports whether l is a prefix of other (used by tests to check
+// non-divergence across replicas).
+func (l *Ledger) PrefixOf(other *Ledger) bool {
+	if l.Height() > other.Height() {
+		return false
+	}
+	for i, b := range l.blocks {
+		if other.blocks[i].Hash != b.Hash {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+// Package metrics collects the measurements every experiment reports:
+// client-observed throughput and latency, plus message and byte counters
+// split into local (intra-region) and global (inter-region) traffic — the
+// distinction at the heart of the paper's cost analysis (Table 2).
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector accumulates samples. It is safe for concurrent use (the real
+// fabric is multi-threaded; the simulator is single-threaded).
+type Collector struct {
+	mu sync.Mutex
+
+	// measurement window in virtual (or real) time
+	windowStart time.Duration
+	windowEnd   time.Duration
+
+	txns      int64
+	batches   int64
+	latencies []time.Duration
+
+	localMsgs   int64
+	globalMsgs  int64
+	localBytes  int64
+	globalBytes int64
+}
+
+// NewCollector returns an empty collector. Samples outside
+// [windowStart, windowEnd) are ignored; a zero windowEnd means +∞.
+func NewCollector(windowStart, windowEnd time.Duration) *Collector {
+	return &Collector{windowStart: windowStart, windowEnd: windowEnd}
+}
+
+func (c *Collector) inWindow(now time.Duration) bool {
+	if now < c.windowStart {
+		return false
+	}
+	return c.windowEnd == 0 || now < c.windowEnd
+}
+
+// RecordCompletion records a client-observed batch completion: the batch was
+// submitted at submit, completed at now, and carried txns transactions.
+func (c *Collector) RecordCompletion(now, submit time.Duration, txns int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.inWindow(now) {
+		return
+	}
+	c.txns += int64(txns)
+	c.batches++
+	if len(c.latencies) < 1<<21 {
+		c.latencies = append(c.latencies, now-submit)
+	}
+}
+
+// RecordSend records one transmitted message.
+func (c *Collector) RecordSend(sameRegion bool, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sameRegion {
+		c.localMsgs++
+		c.localBytes += int64(size)
+	} else {
+		c.globalMsgs++
+		c.globalBytes += int64(size)
+	}
+}
+
+// Txns returns the number of completed transactions inside the window.
+func (c *Collector) Txns() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.txns
+}
+
+// Batches returns the number of completed batches inside the window.
+func (c *Collector) Batches() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches
+}
+
+// Throughput returns transactions per second over the measurement window,
+// where end is the actual end of measurement.
+func (c *Collector) Throughput(end time.Duration) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	window := end - c.windowStart
+	if c.windowEnd != 0 && c.windowEnd < end {
+		window = c.windowEnd - c.windowStart
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.txns) / window.Seconds()
+}
+
+// LatencyStats summarizes completion latencies.
+type LatencyStats struct {
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Latency computes latency statistics over the recorded samples.
+func (c *Collector) Latency() LatencyStats {
+	c.mu.Lock()
+	samples := make([]time.Duration, len(c.latencies))
+	copy(samples, c.latencies)
+	c.mu.Unlock()
+
+	var st LatencyStats
+	st.Count = len(samples)
+	if st.Count == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	st.Avg = sum / time.Duration(st.Count)
+	st.P50 = samples[st.Count/2]
+	st.P95 = samples[min(st.Count-1, st.Count*95/100)]
+	st.P99 = samples[min(st.Count-1, st.Count*99/100)]
+	st.Max = samples[st.Count-1]
+	return st
+}
+
+// MessageStats summarizes traffic counts.
+type MessageStats struct {
+	LocalMsgs, GlobalMsgs   int64
+	LocalBytes, GlobalBytes int64
+}
+
+// Messages returns the traffic counters.
+func (c *Collector) Messages() MessageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MessageStats{
+		LocalMsgs: c.localMsgs, GlobalMsgs: c.globalMsgs,
+		LocalBytes: c.localBytes, GlobalBytes: c.globalBytes,
+	}
+}

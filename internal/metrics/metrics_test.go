@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowFiltering(t *testing.T) {
+	c := NewCollector(time.Second, 3*time.Second)
+	c.RecordCompletion(500*time.Millisecond, 0, 10) // before window
+	c.RecordCompletion(1500*time.Millisecond, 1*time.Second, 10)
+	c.RecordCompletion(2500*time.Millisecond, 2*time.Second, 10)
+	c.RecordCompletion(3500*time.Millisecond, 3*time.Second, 10) // after window
+	if c.Txns() != 20 {
+		t.Errorf("Txns = %d, want 20", c.Txns())
+	}
+	if c.Batches() != 2 {
+		t.Errorf("Batches = %d", c.Batches())
+	}
+	// Window = 2 s → 10 txn/s.
+	if tp := c.Throughput(3 * time.Second); tp < 9.9 || tp > 10.1 {
+		t.Errorf("Throughput = %f", tp)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := NewCollector(0, 0)
+	for i := 1; i <= 100; i++ {
+		c.RecordCompletion(time.Duration(i)*time.Millisecond, 0, 1)
+	}
+	st := c.Latency()
+	if st.Count != 100 {
+		t.Fatalf("Count = %d", st.Count)
+	}
+	if st.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v", st.Max)
+	}
+	if st.P50 < 48*time.Millisecond || st.P50 > 53*time.Millisecond {
+		t.Errorf("P50 = %v", st.P50)
+	}
+	if st.P95 < 93*time.Millisecond || st.P95 > 97*time.Millisecond {
+		t.Errorf("P95 = %v", st.P95)
+	}
+	if st.Avg < 50*time.Millisecond || st.Avg > 51*time.Millisecond {
+		t.Errorf("Avg = %v", st.Avg)
+	}
+}
+
+func TestEmptyLatency(t *testing.T) {
+	c := NewCollector(0, 0)
+	if st := c.Latency(); st.Count != 0 || st.Avg != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if tp := c.Throughput(time.Second); tp != 0 {
+		t.Errorf("Throughput = %f", tp)
+	}
+}
+
+func TestMessageCounters(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.RecordSend(true, 100)
+	c.RecordSend(true, 200)
+	c.RecordSend(false, 1000)
+	m := c.Messages()
+	if m.LocalMsgs != 2 || m.LocalBytes != 300 {
+		t.Errorf("local = %d msgs %d bytes", m.LocalMsgs, m.LocalBytes)
+	}
+	if m.GlobalMsgs != 1 || m.GlobalBytes != 1000 {
+		t.Errorf("global = %d msgs %d bytes", m.GlobalMsgs, m.GlobalBytes)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector(0, 0)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				c.RecordCompletion(time.Duration(i), 0, 1)
+				c.RecordSend(i%2 == 0, i)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Txns() != 4000 {
+		t.Errorf("Txns = %d", c.Txns())
+	}
+}

@@ -1,0 +1,10 @@
+package pbft
+
+// Debugf, when set, receives internal trace lines (test instrumentation).
+var Debugf func(format string, args ...interface{})
+
+func dbg(format string, args ...interface{}) {
+	if Debugf != nil {
+		Debugf(format, args...)
+	}
+}

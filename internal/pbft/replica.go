@@ -1,0 +1,687 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"resilientdb/internal/proto"
+	"resilientdb/internal/types"
+)
+
+// Config parameterizes one PBFT replica.
+type Config struct {
+	// Members lists the participating replicas in local-index order; the
+	// primary of view v is Members[v mod n].
+	Members []types.NodeID
+	// Self is this replica's identifier (must appear in Members).
+	Self types.NodeID
+	// F is the maximum number of Byzantine members; len(Members) > 3F.
+	F int
+	// CheckpointInterval is the number of sequence numbers between
+	// checkpoints (the paper's experiments use 600 transactions = 6 batches
+	// at batch size 100).
+	CheckpointInterval uint64
+	// HighWaterMark bounds how far past the last stable checkpoint the
+	// primary may propose (log window).
+	HighWaterMark uint64
+	// ViewChangeTimeout is the base progress timeout; it doubles on each
+	// consecutive failed view (exponential back-off).
+	ViewChangeTimeout time.Duration
+	// RetainCerts is how many recent commit certificates are kept for
+	// catch-up after their entries are garbage collected.
+	RetainCerts uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.CheckpointInterval == 0 {
+		out.CheckpointInterval = 6
+	}
+	if out.HighWaterMark == 0 {
+		out.HighWaterMark = 4 * out.CheckpointInterval
+	}
+	if out.ViewChangeTimeout == 0 {
+		out.ViewChangeTimeout = 2 * time.Second
+	}
+	if out.RetainCerts == 0 {
+		out.RetainCerts = 1024
+	}
+	return out
+}
+
+// Hooks are the replica's upcalls. Committed fires exactly once per
+// sequence number, in order.
+type Hooks struct {
+	// Committed delivers the certificate for seq; certificates arrive in
+	// strictly increasing seq order with no gaps.
+	Committed func(seq uint64, cert *Certificate)
+	// ViewChanged fires after a new view is installed.
+	ViewChanged func(view uint64, primary types.NodeID)
+}
+
+// voteKey identifies the proposal a prepare/commit vote supports. Votes are
+// bucketed by (view, digest) so that messages racing ahead of their
+// preprepare — or spanning a view change — are never lost; this matters
+// when f replicas have crashed and the quorum needs every remaining vote.
+type voteKey struct {
+	view   uint64
+	digest types.Digest
+}
+
+// entry is the per-sequence protocol state.
+type entry struct {
+	view          uint64
+	digest        types.Digest
+	batch         types.Batch
+	hasPrePrepare bool
+	prepares      map[voteKey]map[types.NodeID][]byte
+	commits       map[voteKey]map[types.NodeID][]byte
+	prepared      bool
+	sentCommit    bool
+	committed     bool
+	cert          *Certificate
+}
+
+func (e *entry) votes(m map[voteKey]map[types.NodeID][]byte, k voteKey) map[types.NodeID][]byte {
+	set := m[k]
+	if set == nil {
+		set = make(map[types.NodeID][]byte)
+		m[k] = set
+	}
+	return set
+}
+
+func (e *entry) key() voteKey { return voteKey{view: e.view, digest: e.digest} }
+
+// Replica is a PBFT participant. It is a single-threaded state machine:
+// all entry points (HandleMessage, SubmitLocal) must be invoked from the
+// owning event loop.
+type Replica struct {
+	env   proto.Env
+	cfg   Config
+	hooks Hooks
+	n     int
+
+	view          uint64
+	inViewChange  bool
+	nextSeq       uint64 // primary: last assigned sequence
+	entries       map[uint64]*entry
+	committedUpTo uint64
+	lowWater      uint64 // last stable checkpoint
+
+	queue     []types.Batch // primary-side pending client batches
+	clientHWM map[types.NodeID]uint64
+	inFlight  map[types.Digest]bool        // primary: proposed, not yet committed
+	forwarded map[types.Digest]types.Batch // backup: awaiting execution
+
+	history      map[uint64]types.Digest // digest chain over committed batches
+	checkpoints  map[uint64]map[types.NodeID]*Checkpoint
+	stableProof  []*Checkpoint
+	certLog      map[uint64]*Certificate
+	catchupAsked time.Duration
+
+	progressTimer proto.Timer
+	vcAttempts    uint
+	vcStore       map[uint64]map[types.NodeID]*ViewChange
+	targetView    uint64
+	// futurePP buffers preprepares for views not yet installed here; the new
+	// primary starts proposing the moment it builds the NewView, racing the
+	// install at other replicas.
+	futurePP []*PrePrepare
+}
+
+// NewReplica constructs a replica bound to env.
+func NewReplica(env proto.Env, cfg Config, hooks Hooks) *Replica {
+	c := cfg.withDefaults()
+	if len(c.Members) <= 3*c.F {
+		panic(fmt.Sprintf("pbft: need n > 3f, got n=%d f=%d", len(c.Members), c.F))
+	}
+	r := &Replica{
+		env:         env,
+		cfg:         c,
+		hooks:       hooks,
+		n:           len(c.Members),
+		entries:     make(map[uint64]*entry),
+		clientHWM:   make(map[types.NodeID]uint64),
+		inFlight:    make(map[types.Digest]bool),
+		forwarded:   make(map[types.Digest]types.Batch),
+		history:     map[uint64]types.Digest{0: {}},
+		checkpoints: make(map[uint64]map[types.NodeID]*Checkpoint),
+		certLog:     make(map[uint64]*Certificate),
+		vcStore:     make(map[uint64]map[types.NodeID]*ViewChange),
+	}
+	return r
+}
+
+// quorum is the paper's n−f acceptance threshold.
+func (r *Replica) quorum() int { return r.n - r.cfg.F }
+
+// PrimaryOf returns the primary of view v.
+func (r *Replica) PrimaryOf(v uint64) types.NodeID {
+	return r.cfg.Members[int(v)%r.n]
+}
+
+// Primary returns the current primary.
+func (r *Replica) Primary() types.NodeID { return r.PrimaryOf(r.view) }
+
+// IsPrimary reports whether this replica currently leads.
+func (r *Replica) IsPrimary() bool { return r.Primary() == r.env.ID() }
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// InViewChange reports whether a view-change is in progress.
+func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+// CommittedUpTo returns the highest sequence delivered in order.
+func (r *Replica) CommittedUpTo() uint64 { return r.committedUpTo }
+
+// StableSeq returns the last stable checkpoint sequence.
+func (r *Replica) StableSeq() uint64 { return r.lowWater }
+
+// QueueLen returns the primary's pending batch count (for flow control).
+func (r *Replica) QueueLen() int { return len(r.queue) }
+
+// NextSeq returns the highest sequence number this replica has assigned as
+// primary (composing protocols use it for round accounting).
+func (r *Replica) NextSeq() uint64 { return r.nextSeq }
+
+// Certificate returns the commit certificate for seq if still retained.
+func (r *Replica) Certificate(seq uint64) *Certificate { return r.certLog[seq] }
+
+func (r *Replica) entryAt(seq uint64) *entry {
+	e := r.entries[seq]
+	if e == nil {
+		e = &entry{
+			view:     r.view,
+			prepares: make(map[voteKey]map[types.NodeID][]byte),
+			commits:  make(map[voteKey]map[types.NodeID][]byte),
+		}
+		r.entries[seq] = e
+	}
+	return e
+}
+
+func (r *Replica) broadcast(m types.Message) {
+	// Point-to-point channels are MAC-authenticated; charge the MAC cost
+	// once per recipient, as the paper's implementation does.
+	for range r.cfg.Members {
+		r.env.Suite().ChargeMAC()
+	}
+	proto.Multicast(r.env, r.cfg.Members, m)
+}
+
+// SubmitLocal hands a client batch to this replica. The primary enqueues
+// and proposes it; a backup forwards it to the primary and supervises
+// progress (the standard PBFT anti-censorship mechanism).
+func (r *Replica) SubmitLocal(b types.Batch, verified bool) {
+	if !verified {
+		// Client batches are signed; charge verification (simulated clients
+		// are honest, so the signature check itself is modelled as cost).
+		r.env.Suite().ChargeVerify()
+	}
+	if !b.NoOp && b.Seq <= r.clientHWM[b.Client] {
+		return // duplicate
+	}
+	if r.IsPrimary() && !r.inViewChange {
+		r.queue = append(r.queue, b)
+		r.tryPropose()
+		return
+	}
+	// Backup (or mid-view-change): supervise the request. It is forwarded
+	// to the primary, and re-routed when a new view installs.
+	d := b.Digest()
+	if _, dup := r.forwarded[d]; dup {
+		return
+	}
+	r.forwarded[d] = b
+	if !r.inViewChange {
+		r.env.Suite().ChargeMAC()
+		r.env.Send(r.Primary(), &Request{Batch: b, Forwarded: true})
+	}
+	r.armProgressTimer()
+}
+
+func (r *Replica) tryPropose() {
+	if !r.IsPrimary() || r.inViewChange {
+		return
+	}
+	for len(r.queue) > 0 && r.nextSeq < r.lowWater+r.cfg.HighWaterMark {
+		b := r.queue[0]
+		r.queue = r.queue[1:]
+		if !b.NoOp && b.Seq <= r.clientHWM[b.Client] {
+			continue // executed while queued
+		}
+		d := b.Digest()
+		if r.inFlight[d] {
+			continue // a retransmission of a batch already being ordered
+		}
+		r.inFlight[d] = true
+		r.nextSeq++
+		dbg("%v PROPOSE view=%d seq=%d", r.env.ID(), r.view, r.nextSeq)
+		pp := &PrePrepare{View: r.view, Seq: r.nextSeq, Digest: d, Batch: b}
+		r.broadcast(pp)
+		r.onPrePrepare(r.env.ID(), pp)
+	}
+}
+
+// HandleMessage dispatches a PBFT message; it returns false if msg is not a
+// PBFT message (so composing protocols can try their own handlers).
+func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) bool {
+	switch m := msg.(type) {
+	case *Request:
+		// A forwarded client request: route it by our current role (the
+		// forwarder already verified the client signature).
+		r.env.Suite().ChargeVerifyMAC()
+		r.SubmitLocal(m.Batch, true)
+		return true
+	case *PrePrepare:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onPrePrepare(from, m)
+		return true
+	case *Prepare:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onPrepare(from, m)
+		return true
+	case *Commit:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onCommit(from, m)
+		return true
+	case *Checkpoint:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onCheckpoint(from, m)
+		return true
+	case *ViewChange:
+		r.onViewChange(from, m)
+		return true
+	case *NewView:
+		r.onNewView(from, m)
+		return true
+	case *CatchupRequest:
+		r.onCatchupRequest(from, m)
+		return true
+	case *CatchupReply:
+		r.onCatchupReply(from, m)
+		return true
+	}
+	return false
+}
+
+func (r *Replica) inWindow(seq uint64) bool {
+	return seq > r.lowWater && seq <= r.lowWater+2*r.cfg.HighWaterMark
+}
+
+func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare) {
+	if from != r.PrimaryOf(m.View) {
+		return
+	}
+	if m.View > r.view {
+		// Proposal from a view we have not installed yet: buffer and replay
+		// after the NewView arrives.
+		if len(r.futurePP) < 4096 {
+			r.futurePP = append(r.futurePP, m)
+		}
+		return
+	}
+	if m.View != r.view || r.inViewChange {
+		return
+	}
+	if !r.inWindow(m.Seq) {
+		return
+	}
+	if m.Batch.Digest() != m.Digest {
+		return
+	}
+	e := r.entryAt(m.Seq)
+	if e.hasPrePrepare && e.view == m.View {
+		if e.digest != m.Digest {
+			// Equivocation by the primary: provable misbehaviour.
+			r.startViewChange(r.view + 1)
+		}
+		return
+	}
+	if e.committed {
+		return // decided; a re-proposal cannot change it
+	}
+	// Accept (possibly re-proposed in a newer view); votes for the new
+	// (view, digest) live in their own bucket, so stale state is harmless.
+	e.view = m.View
+	e.digest = m.Digest
+	e.batch = m.Batch
+	e.hasPrePrepare = true
+	e.prepared, e.sentCommit = false, false
+	r.armProgressTimer()
+
+	// Phase one: broadcast a prepare in support.
+	sig := r.env.Suite().Sign(preparePayload(m.View, m.Seq, m.Digest))
+	p := &Prepare{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: r.env.ID(), Sig: sig}
+	r.broadcast(p)
+	e.votes(e.prepares, e.key())[r.env.ID()] = sig
+	r.maybePrepared(m.Seq, e)
+}
+
+func (r *Replica) onPrepare(from types.NodeID, m *Prepare) {
+	// Votes for the current or any future view are bucketed; only stale
+	// views are discarded. This keeps votes that raced ahead of their
+	// preprepare or of our view-change installation.
+	if m.View < r.view || !r.inWindow(m.Seq) || m.Replica != from {
+		return
+	}
+	e := r.entryAt(m.Seq)
+	set := e.votes(e.prepares, voteKey{view: m.View, digest: m.Digest})
+	if _, dup := set[from]; dup {
+		return
+	}
+	// Prepare signatures are verified lazily (only when used in a
+	// view-change proof); normal-case authenticity rests on channel MACs.
+	set[from] = m.Sig
+	r.maybePrepared(m.Seq, e)
+}
+
+func (r *Replica) maybePrepared(seq uint64, e *entry) {
+	if e.prepared || !e.hasPrePrepare || len(e.prepares[e.key()]) < r.quorum() {
+		return
+	}
+	e.prepared = true
+	dbg("%v PREPARED seq=%d view=%d", r.env.ID(), seq, e.view)
+	r.sendCommit(seq, e)
+}
+
+func (r *Replica) sendCommit(seq uint64, e *entry) {
+	if e.sentCommit {
+		return
+	}
+	e.sentCommit = true
+	// Commit messages are digitally signed: they form the forwardable
+	// commit certificate (paper Section 2.2).
+	sig := r.env.Suite().Sign(CommitPayload(e.view, seq, e.digest))
+	c := &Commit{View: e.view, Seq: seq, Digest: e.digest, Replica: r.env.ID(), Sig: sig}
+	r.broadcast(c)
+	e.votes(e.commits, e.key())[r.env.ID()] = sig
+	r.maybeCommitted(seq, e)
+}
+
+func (r *Replica) onCommit(from types.NodeID, m *Commit) {
+	if !r.inWindow(m.Seq) || m.Replica != from {
+		return
+	}
+	e := r.entryAt(m.Seq)
+	set := e.votes(e.commits, voteKey{view: m.View, digest: m.Digest})
+	if _, dup := set[from]; dup {
+		return
+	}
+	// Commit signatures are verified on receipt: they end up in
+	// certificates that other clusters check.
+	if !r.env.Suite().Verify(from, CommitPayload(m.View, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	set[from] = m.Sig
+	r.maybeCommitted(m.Seq, e)
+}
+
+func (r *Replica) maybeCommitted(seq uint64, e *entry) {
+	if e.committed || !e.prepared || len(e.commits[e.key()]) < r.quorum() {
+		return
+	}
+	e.committed = true
+	dbg("%v COMMITTED seq=%d view=%d", r.env.ID(), seq, e.view)
+	e.cert = r.buildCert(seq, e)
+	r.certLog[seq] = e.cert
+	r.advanceCommitted()
+}
+
+func (r *Replica) buildCert(seq uint64, e *entry) *Certificate {
+	set := e.commits[e.key()]
+	signers := make([]types.NodeID, 0, len(set))
+	for id := range set {
+		signers = append(signers, id)
+	}
+	sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+	if len(signers) > r.quorum() {
+		signers = signers[:r.quorum()]
+	}
+	sigs := make([][]byte, len(signers))
+	for i, id := range signers {
+		sigs[i] = set[id]
+	}
+	return &Certificate{
+		View: e.view, Seq: seq, Digest: e.digest, Batch: e.batch,
+		Signers: signers, Sigs: sigs,
+	}
+}
+
+func (r *Replica) advanceCommitted() {
+	progressed := false
+	for {
+		e := r.entries[r.committedUpTo+1]
+		if e == nil || !e.committed {
+			break
+		}
+		r.committedUpTo++
+		progressed = true
+		if !e.batch.NoOp && e.batch.Seq > r.clientHWM[e.batch.Client] {
+			r.clientHWM[e.batch.Client] = e.batch.Seq
+		}
+		delete(r.forwarded, e.digest)
+		delete(r.inFlight, e.digest)
+
+		// Extend the history digest chain used by checkpoints.
+		enc := types.NewEncoder(72)
+		enc.Digest(r.history[r.committedUpTo-1])
+		enc.Digest(e.digest)
+		r.history[r.committedUpTo] = types.Hash(enc.Bytes())
+
+		if r.hooks.Committed != nil {
+			r.hooks.Committed(r.committedUpTo, e.cert)
+		}
+		if r.committedUpTo%r.cfg.CheckpointInterval == 0 {
+			r.emitCheckpoint(r.committedUpTo)
+		}
+	}
+	if progressed {
+		r.vcAttempts = 0
+		r.rearmProgressTimer()
+		r.tryPropose()
+	}
+}
+
+// emitCheckpoint broadcasts this replica's signed checkpoint at seq.
+func (r *Replica) emitCheckpoint(seq uint64) {
+	d := r.history[seq]
+	sig := r.env.Suite().Sign(checkpointPayload(seq, d))
+	cp := &Checkpoint{Seq: seq, Digest: d, Replica: r.env.ID(), Sig: sig}
+	r.broadcast(cp)
+	r.onCheckpoint(r.env.ID(), cp)
+}
+
+func (r *Replica) onCheckpoint(from types.NodeID, m *Checkpoint) {
+	if m.Seq <= r.lowWater || m.Replica != from {
+		return
+	}
+	set := r.checkpoints[m.Seq]
+	if set == nil {
+		set = make(map[types.NodeID]*Checkpoint)
+		r.checkpoints[m.Seq] = set
+	}
+	if _, dup := set[from]; dup {
+		return
+	}
+	set[from] = m
+
+	// Count matching digests.
+	matching := make([]*Checkpoint, 0, len(set))
+	for _, cp := range set {
+		if cp.Digest == m.Digest {
+			matching = append(matching, cp)
+		}
+	}
+	if len(matching) >= r.quorum() {
+		r.stabilize(m.Seq, matching)
+	} else if m.Seq > r.committedUpTo+r.cfg.CheckpointInterval && len(set) >= r.cfg.F+1 {
+		// f+1 replicas are checkpointing ahead of us: we fell behind.
+		r.requestCatchup()
+	}
+}
+
+// stabilize installs a stable checkpoint at seq and garbage collects.
+func (r *Replica) stabilize(seq uint64, proof []*Checkpoint) {
+	if seq <= r.lowWater {
+		return
+	}
+	if seq > r.committedUpTo {
+		// Quorum is ahead of us; remember the proof after catch-up.
+		r.requestCatchup()
+		return
+	}
+	r.lowWater = seq
+	sort.Slice(proof, func(i, j int) bool { return proof[i].Replica < proof[j].Replica })
+	r.stableProof = proof
+	for s := range r.entries {
+		if s <= seq {
+			delete(r.entries, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s <= seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	for s := range r.history {
+		if s < seq {
+			delete(r.history, s)
+		}
+	}
+	if seq > r.cfg.RetainCerts {
+		for s := range r.certLog {
+			if s < seq-r.cfg.RetainCerts {
+				delete(r.certLog, s)
+			}
+		}
+	}
+	if r.nextSeq < seq {
+		r.nextSeq = seq
+	}
+	r.tryPropose()
+}
+
+// requestCatchup asks a random peer for the certificates we are missing.
+func (r *Replica) requestCatchup() {
+	if now := r.env.Now(); now-r.catchupAsked < 200*time.Millisecond {
+		return
+	}
+	r.catchupAsked = r.env.Now()
+	peer := r.cfg.Members[r.env.Rand().Intn(r.n)]
+	for peer == r.env.ID() {
+		peer = r.cfg.Members[r.env.Rand().Intn(r.n)]
+	}
+	r.env.Suite().ChargeMAC()
+	r.env.Send(peer, &CatchupRequest{FromSeq: r.committedUpTo + 1})
+}
+
+func (r *Replica) onCatchupRequest(from types.NodeID, m *CatchupRequest) {
+	const maxCerts = 16
+	var certs []*Certificate
+	for s := m.FromSeq; s <= r.committedUpTo && len(certs) < maxCerts; s++ {
+		if c := r.certLog[s]; c != nil {
+			certs = append(certs, c)
+		} else {
+			break
+		}
+	}
+	if len(certs) > 0 {
+		r.env.Suite().ChargeMAC()
+		r.env.Send(from, &CatchupReply{Certs: certs})
+	}
+}
+
+func (r *Replica) onCatchupReply(from types.NodeID, m *CatchupReply) {
+	for _, cert := range m.Certs {
+		r.AdoptCertificate(cert)
+	}
+}
+
+// AdoptCertificate installs an externally obtained commit certificate after
+// full verification. It is used by catch-up and by recovery.
+func (r *Replica) AdoptCertificate(cert *Certificate) {
+	if cert.Seq <= r.committedUpTo || !r.inWindow(cert.Seq) {
+		return
+	}
+	if !cert.Verify(r.env.Suite(), r.cfg.Members, r.quorum()) {
+		return
+	}
+	e := r.entryAt(cert.Seq)
+	if e.committed {
+		return
+	}
+	e.view, e.digest, e.batch = cert.View, cert.Digest, cert.Batch
+	e.hasPrePrepare, e.prepared, e.sentCommit, e.committed = true, true, true, true
+	e.cert = cert
+	r.certLog[cert.Seq] = cert
+	r.advanceCommitted()
+}
+
+// --- progress timer -------------------------------------------------------
+
+func (r *Replica) pendingWork() bool {
+	if len(r.forwarded) > 0 || len(r.queue) > 0 {
+		return true
+	}
+	for s, e := range r.entries {
+		if s > r.committedUpTo && e.hasPrePrepare && !e.committed {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) timeout() time.Duration {
+	d := r.cfg.ViewChangeTimeout
+	for i := uint(0); i < r.vcAttempts && i < 6; i++ {
+		d *= 2
+	}
+	return d
+}
+
+func (r *Replica) armProgressTimer() {
+	if r.progressTimer != nil || r.inViewChange {
+		return
+	}
+	r.progressTimer = r.env.SetTimer(r.timeout(), r.onProgressTimeout)
+}
+
+func (r *Replica) rearmProgressTimer() {
+	if r.progressTimer != nil {
+		r.progressTimer.Stop()
+		r.progressTimer = nil
+	}
+	if r.pendingWork() {
+		r.armProgressTimer()
+	}
+}
+
+func (r *Replica) onProgressTimeout() {
+	r.progressTimer = nil
+	if r.inViewChange {
+		return
+	}
+	if !r.pendingWork() {
+		return
+	}
+	if r.IsPrimary() {
+		// The primary cannot depose itself; it simply retries proposing.
+		r.tryPropose()
+		r.armProgressTimer()
+		return
+	}
+	dbg("%v TIMEOUT view=%d committed=%d fwd=%d", r.env.ID(), r.view, r.committedUpTo, len(r.forwarded))
+	r.startViewChange(r.view + 1)
+}
+
+// Stop cancels outstanding timers (used when tearing a replica down).
+func (r *Replica) Stop() {
+	if r.progressTimer != nil {
+		r.progressTimer.Stop()
+		r.progressTimer = nil
+	}
+}

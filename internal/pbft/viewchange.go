@@ -1,0 +1,375 @@
+package pbft
+
+import (
+	"sort"
+
+	"resilientdb/internal/types"
+)
+
+// startViewChange abandons the current view and campaigns for view v.
+func (r *Replica) startViewChange(v uint64) {
+	if v <= r.view {
+		return
+	}
+	if r.inViewChange && v <= r.targetView {
+		return
+	}
+	r.inViewChange = true
+	r.targetView = v
+	r.vcAttempts++
+	if r.progressTimer != nil {
+		r.progressTimer.Stop()
+		r.progressTimer = nil
+	}
+
+	vc := r.buildViewChange(v)
+	r.broadcast(vc)
+	r.storeViewChange(vc)
+
+	// If view v never installs (its primary may be faulty too), escalate.
+	target := v
+	r.env.SetTimer(r.timeout(), func() {
+		if r.inViewChange && r.targetView == target {
+			r.startViewChange(target + 1)
+		}
+	})
+	r.maybeBuildNewView(v)
+}
+
+// ForceViewChange deposes the current primary. GeoBFT's remote view-change
+// protocol invokes this once f+1 signed Rvc messages from another cluster
+// prove the primary failed to share its certificates (paper Figure 7,
+// response role).
+func (r *Replica) ForceViewChange() {
+	if !r.inViewChange {
+		r.startViewChange(r.view + 1)
+	}
+}
+
+func (r *Replica) buildViewChange(v uint64) *ViewChange {
+	var prepared []*PreparedProof
+	seqs := make([]uint64, 0, len(r.entries))
+	for s := range r.entries {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		e := r.entries[s]
+		if s <= r.lowWater || !e.prepared {
+			continue
+		}
+		p := &PreparedProof{View: e.view, Seq: s, Digest: e.digest, Batch: e.batch}
+		if e.committed {
+			p.Cert = e.cert
+		} else {
+			set := e.prepares[e.key()]
+			signers := make([]types.NodeID, 0, len(set))
+			for id := range set {
+				signers = append(signers, id)
+			}
+			sort.Slice(signers, func(i, j int) bool { return signers[i] < signers[j] })
+			if len(signers) > r.quorum() {
+				signers = signers[:r.quorum()]
+			}
+			p.PrepareSigners = signers
+			p.PrepareSigs = make([][]byte, len(signers))
+			for i, id := range signers {
+				p.PrepareSigs[i] = set[id]
+			}
+		}
+		prepared = append(prepared, p)
+	}
+	vc := &ViewChange{
+		NewView:     v,
+		Replica:     r.env.ID(),
+		StableSeq:   r.lowWater,
+		StableProof: r.stableProof,
+		Prepared:    prepared,
+	}
+	vc.Sig = r.env.Suite().Sign(viewChangePayload(vc))
+	return vc
+}
+
+func (r *Replica) storeViewChange(vc *ViewChange) {
+	set := r.vcStore[vc.NewView]
+	if set == nil {
+		set = make(map[types.NodeID]*ViewChange)
+		r.vcStore[vc.NewView] = set
+	}
+	set[vc.Replica] = vc
+}
+
+func (r *Replica) onViewChange(from types.NodeID, m *ViewChange) {
+	if m.Replica != from || m.NewView <= r.view {
+		return
+	}
+	if !r.env.Suite().Verify(from, viewChangePayload(m), m.Sig) {
+		return
+	}
+	r.storeViewChange(m)
+
+	// Join rule: f+1 replicas campaigning for a higher view cannot all be
+	// faulty, so at least one non-faulty replica timed out — join the
+	// lowest such view.
+	if !r.inViewChange || m.NewView > r.targetView {
+		views := make([]uint64, 0, len(r.vcStore))
+		for v, set := range r.vcStore {
+			if v > r.view && len(set) > r.cfg.F {
+				views = append(views, v)
+			}
+		}
+		if len(views) > 0 {
+			sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+			if !r.inViewChange || views[0] > r.targetView {
+				r.startViewChange(views[0])
+			}
+		}
+	}
+	r.maybeBuildNewView(m.NewView)
+}
+
+// validateViewChange checks the signatures and proofs inside a view-change
+// message (prepare signatures are verified here, lazily).
+func (r *Replica) validateViewChange(vc *ViewChange) bool {
+	if vc.StableSeq > 0 {
+		if len(vc.StableProof) < r.quorum() {
+			return false
+		}
+		seen := make(map[types.NodeID]bool)
+		valid := 0
+		for _, cp := range vc.StableProof {
+			if cp.Seq != vc.StableSeq || seen[cp.Replica] {
+				return false
+			}
+			seen[cp.Replica] = true
+			if !r.env.Suite().Verify(cp.Replica, checkpointPayload(cp.Seq, cp.Digest), cp.Sig) {
+				return false
+			}
+			valid++
+		}
+		if valid < r.quorum() {
+			return false
+		}
+	}
+	for _, p := range vc.Prepared {
+		if p.Batch.Digest() != p.Digest {
+			return false
+		}
+		if p.Cert != nil {
+			if p.Cert.Seq != p.Seq || p.Cert.Digest != p.Digest ||
+				!p.Cert.Verify(r.env.Suite(), r.cfg.Members, r.quorum()) {
+				return false
+			}
+			continue
+		}
+		if len(p.PrepareSigners) < r.quorum() || len(p.PrepareSigners) != len(p.PrepareSigs) {
+			return false
+		}
+		seen := make(map[types.NodeID]bool)
+		payload := preparePayload(p.View, p.Seq, p.Digest)
+		for i, id := range p.PrepareSigners {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			if !r.env.Suite().Verify(id, payload, p.PrepareSigs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *Replica) maybeBuildNewView(v uint64) {
+	if r.PrimaryOf(v) != r.env.ID() || v <= r.view {
+		return
+	}
+	if !r.inViewChange || r.targetView != v {
+		return
+	}
+	set := r.vcStore[v]
+	if len(set) < r.quorum() {
+		return
+	}
+	valid := make([]*ViewChange, 0, len(set))
+	ids := make([]types.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		vc := set[id]
+		if r.validateViewChange(vc) {
+			valid = append(valid, vc)
+		}
+	}
+	if len(valid) < r.quorum() {
+		return
+	}
+	valid = valid[:r.quorum()]
+
+	nv := &NewView{View: v, ViewChanges: valid, PrePrepares: computeNewViewProposals(v, valid)}
+	r.broadcast(nv)
+	r.applyNewView(nv)
+}
+
+// computeNewViewProposals derives the deterministic set of re-issued
+// proposals from a view-change quorum: above the highest proven stable
+// checkpoint, committed certificates win, then the highest-view prepared
+// claim; gaps are filled with no-ops.
+func computeNewViewProposals(v uint64, vcs []*ViewChange) []*PrePrepare {
+	maxStable := uint64(0)
+	maxSeq := uint64(0)
+	for _, vc := range vcs {
+		if vc.StableSeq > maxStable {
+			maxStable = vc.StableSeq
+		}
+		for _, p := range vc.Prepared {
+			if p.Seq > maxSeq {
+				maxSeq = p.Seq
+			}
+		}
+	}
+	if maxSeq < maxStable {
+		maxSeq = maxStable
+	}
+	var out []*PrePrepare
+	for s := maxStable + 1; s <= maxSeq; s++ {
+		var chosen *PreparedProof
+		for _, vc := range vcs {
+			for _, p := range vc.Prepared {
+				if p.Seq != s {
+					continue
+				}
+				switch {
+				case chosen == nil:
+					chosen = p
+				case p.Cert != nil && chosen.Cert == nil:
+					chosen = p
+				case p.Cert == nil && chosen.Cert == nil && p.View > chosen.View:
+					chosen = p
+				}
+			}
+		}
+		pp := &PrePrepare{View: v, Seq: s}
+		if chosen != nil {
+			pp.Digest, pp.Batch = chosen.Digest, chosen.Batch
+		} else {
+			pp.Batch = types.Batch{NoOp: true}
+			pp.Digest = pp.Batch.Digest()
+		}
+		out = append(out, pp)
+	}
+	return out
+}
+
+func (r *Replica) onNewView(from types.NodeID, m *NewView) {
+	if m.View < r.view || (m.View == r.view && !r.inViewChange) {
+		return
+	}
+	if from != r.PrimaryOf(m.View) {
+		return
+	}
+	if len(m.ViewChanges) < r.quorum() {
+		return
+	}
+	seen := make(map[types.NodeID]bool)
+	for _, vc := range m.ViewChanges {
+		if vc.NewView != m.View || seen[vc.Replica] {
+			return
+		}
+		seen[vc.Replica] = true
+		if !r.env.Suite().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+			return
+		}
+		if !r.validateViewChange(vc) {
+			return
+		}
+	}
+	// The proposal set must be exactly the deterministic derivation.
+	want := computeNewViewProposals(m.View, m.ViewChanges)
+	if len(want) != len(m.PrePrepares) {
+		return
+	}
+	for i, pp := range m.PrePrepares {
+		if pp.View != m.View || pp.Seq != want[i].Seq || pp.Digest != want[i].Digest {
+			return
+		}
+	}
+	r.applyNewView(m)
+}
+
+func (r *Replica) applyNewView(nv *NewView) {
+	dbg("%v APPLY-NEWVIEW view=%d len(O)=%d", r.env.ID(), nv.View, len(nv.PrePrepares))
+	r.view = nv.View
+	r.inViewChange = false
+	r.targetView = nv.View
+	for v := range r.vcStore {
+		if v <= r.view {
+			delete(r.vcStore, v)
+		}
+	}
+
+	// Adopt any commit certificates carried inside the view-change quorum:
+	// free catch-up for lagging replicas.
+	for _, vc := range nv.ViewChanges {
+		for _, p := range vc.Prepared {
+			if p.Cert != nil {
+				r.AdoptCertificate(p.Cert)
+			}
+		}
+	}
+
+	maxSeq := r.nextSeq
+	for _, pp := range nv.PrePrepares {
+		if pp.Seq > maxSeq {
+			maxSeq = pp.Seq
+		}
+		if pp.Seq <= r.committedUpTo {
+			continue
+		}
+		if old := r.entries[pp.Seq]; old != nil && old.committed {
+			// Already committed locally (necessarily with the same digest by
+			// quorum intersection); help the new view's quorum along.
+			sig := r.env.Suite().Sign(preparePayload(nv.View, pp.Seq, old.digest))
+			r.broadcast(&Prepare{View: nv.View, Seq: pp.Seq, Digest: old.digest, Replica: r.env.ID(), Sig: sig})
+			csig := r.env.Suite().Sign(CommitPayload(nv.View, pp.Seq, old.digest))
+			r.broadcast(&Commit{View: nv.View, Seq: pp.Seq, Digest: old.digest, Replica: r.env.ID(), Sig: csig})
+			continue
+		}
+		// Entries are reused, not reset: votes already bucketed under the
+		// new view's key must survive the re-proposal.
+		r.onPrePrepare(r.PrimaryOf(nv.View), pp)
+	}
+	if r.nextSeq < maxSeq {
+		r.nextSeq = maxSeq
+	}
+
+	// Pending client requests move to the new primary: backups re-forward,
+	// and a replica that just became primary adopts what it was
+	// supervising.
+	if r.IsPrimary() {
+		for _, b := range r.forwarded {
+			r.queue = append(r.queue, b)
+		}
+		r.forwarded = make(map[types.Digest]types.Batch)
+	} else {
+		for _, b := range r.forwarded {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(r.Primary(), &Request{Batch: b, Forwarded: true})
+		}
+	}
+	if r.hooks.ViewChanged != nil {
+		r.hooks.ViewChanged(r.view, r.Primary())
+	}
+	// Replay proposals that raced ahead of this install.
+	buffered := r.futurePP
+	r.futurePP = nil
+	for _, pp := range buffered {
+		if pp.View >= r.view {
+			r.onPrePrepare(r.PrimaryOf(pp.View), pp)
+		}
+	}
+	r.tryPropose()
+	r.rearmProgressTimer()
+}

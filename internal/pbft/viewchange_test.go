@@ -1,0 +1,100 @@
+package pbft
+
+import (
+	"testing"
+
+	"resilientdb/internal/types"
+)
+
+// Unit tests for the pure view-change derivation logic.
+
+func pp(seq uint64, val uint64) *PreparedProof {
+	b := types.Batch{Client: types.ClientIDBase, Seq: seq, Txns: []types.Transaction{{Key: 1, Value: val}}}
+	return &PreparedProof{View: 0, Seq: seq, Digest: b.Digest(), Batch: b}
+}
+
+func TestComputeNewViewProposalsGapsBecomeNoOps(t *testing.T) {
+	vcs := []*ViewChange{
+		{NewView: 1, Replica: 1, StableSeq: 0, Prepared: []*PreparedProof{pp(1, 10), pp(3, 30)}},
+		{NewView: 1, Replica: 2, StableSeq: 0},
+		{NewView: 1, Replica: 3, StableSeq: 0},
+	}
+	out := computeNewViewProposals(1, vcs)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Seq != 1 || out[0].Batch.NoOp {
+		t.Error("seq 1 must carry the prepared batch")
+	}
+	if out[1].Seq != 2 || !out[1].Batch.NoOp {
+		t.Error("seq 2 (gap) must be a no-op")
+	}
+	if out[2].Seq != 3 || out[2].Batch.NoOp {
+		t.Error("seq 3 must carry the prepared batch")
+	}
+	for _, p := range out {
+		if p.View != 1 {
+			t.Error("re-issued proposals must carry the new view")
+		}
+		if p.Batch.Digest() != p.Digest {
+			t.Error("digest mismatch in re-issued proposal")
+		}
+	}
+}
+
+func TestComputeNewViewProposalsHighestViewWins(t *testing.T) {
+	older := pp(1, 10)
+	newer := pp(1, 99)
+	newer.View = 3
+	vcs := []*ViewChange{
+		{NewView: 4, Replica: 1, Prepared: []*PreparedProof{older}},
+		{NewView: 4, Replica: 2, Prepared: []*PreparedProof{newer}},
+		{NewView: 4, Replica: 3},
+	}
+	out := computeNewViewProposals(4, vcs)
+	if len(out) != 1 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Digest != newer.Digest {
+		t.Error("prepared claim from the higher view must win")
+	}
+}
+
+func TestComputeNewViewProposalsCertificateBeatsPrepared(t *testing.T) {
+	prepared := pp(1, 10)
+	prepared.View = 9 // even a much higher prepared view…
+	committed := pp(1, 55)
+	committed.Cert = &Certificate{Seq: 1, Digest: committed.Digest, Batch: committed.Batch}
+	vcs := []*ViewChange{
+		{NewView: 10, Replica: 1, Prepared: []*PreparedProof{prepared}},
+		{NewView: 10, Replica: 2, Prepared: []*PreparedProof{committed}},
+		{NewView: 10, Replica: 3},
+	}
+	out := computeNewViewProposals(10, vcs)
+	if out[0].Digest != committed.Digest {
+		t.Error("…must lose to a commit certificate")
+	}
+}
+
+func TestComputeNewViewProposalsRespectsStableCheckpoint(t *testing.T) {
+	vcs := []*ViewChange{
+		{NewView: 1, Replica: 1, StableSeq: 4, Prepared: []*PreparedProof{pp(5, 50)}},
+		{NewView: 1, Replica: 2, StableSeq: 2, Prepared: []*PreparedProof{pp(3, 30)}},
+		{NewView: 1, Replica: 3, StableSeq: 4},
+	}
+	out := computeNewViewProposals(1, vcs)
+	// Nothing at or below the highest proven stable checkpoint (4) may be
+	// re-proposed; seq 3 is covered by the checkpoint.
+	if len(out) != 1 || out[0].Seq != 5 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestComputeNewViewProposalsEmpty(t *testing.T) {
+	vcs := []*ViewChange{
+		{NewView: 1, Replica: 1}, {NewView: 1, Replica: 2}, {NewView: 1, Replica: 3},
+	}
+	if out := computeNewViewProposals(1, vcs); len(out) != 0 {
+		t.Errorf("expected empty O set, got %d", len(out))
+	}
+}

@@ -1,0 +1,465 @@
+// Package steward implements the Steward protocol (Amir et al.), the
+// hierarchical wide-area BFT baseline of the ResilientDB evaluation. Like
+// GeoBFT, Steward groups replicas into clusters (sites); unlike GeoBFT it is
+// centralized: one leading site (Oregon in the paper's experiments)
+// coordinates the global ordering of every update.
+//
+// The implementation follows the paper's description and measured profile
+// (Sections 1.1, 3 and 4): each site performs local Byzantine agreement to
+// certify messages (the original uses threshold signatures; like the
+// paper's implementation we omit thresholds and carry n−f individual
+// signatures, which every receiving site verifies), the leading site assigns
+// global sequence numbers, and sites exchange proposals/accepts through
+// their representatives — O(2zn²) local and O(z²) global messages per
+// decision (Table 2). The leading site's representative serializes all
+// global traffic, which is the bandwidth and compute bottleneck the paper
+// measures.
+//
+// As in the paper, Steward has no usable view-change here: it is excluded
+// from the primary-failure experiment (Section 4.3); crash experiments fail
+// only non-representative backups.
+package steward
+
+import (
+	"resilientdb/internal/config"
+	"resilientdb/internal/kvstore"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+)
+
+// Request carries a client batch to its site representative.
+type Request struct {
+	Batch types.Batch
+}
+
+func (*Request) MsgType() string { return "steward/request" }
+
+// WireSize implements types.Message.
+func (r *Request) WireSize() int { return r.Batch.WireSize() }
+
+// LocalAgree is an intra-site round certifying a payload: the representative
+// broadcasts it, members reply with signed acks.
+type LocalAgree struct {
+	Kind    uint8 // which global step this agreement certifies
+	Site    types.ClusterID
+	Seq     uint64 // site-local or global sequence, per kind
+	Digest  types.Digest
+	Batch   types.Batch
+	GlobalV uint64
+}
+
+func (*LocalAgree) MsgType() string { return "steward/localagree" }
+
+// WireSize implements types.Message.
+func (l *LocalAgree) WireSize() int { return types.HeaderBytes + l.Batch.WireSize() }
+
+// LocalAck is a member's signed acknowledgement of a LocalAgree round.
+type LocalAck struct {
+	Kind    uint8
+	Site    types.ClusterID
+	Seq     uint64
+	Digest  types.Digest
+	Replica types.NodeID
+	Sig     []byte
+}
+
+func (*LocalAck) MsgType() string { return "steward/localack" }
+
+// WireSize implements types.Message.
+func (*LocalAck) WireSize() int { return types.ControlBytes }
+
+// Agreement kinds.
+const (
+	kindForward uint8 = iota // site certifies a client update for forwarding
+	kindPropose              // leading site certifies a global assignment
+	kindAccept               // site certifies acceptance of a proposal
+)
+
+func ackPayload(kind uint8, site types.ClusterID, seq uint64, digest types.Digest) []byte {
+	enc := types.NewEncoder(64)
+	enc.String("steward/ACK")
+	enc.U8(kind)
+	enc.I32(int32(site))
+	enc.U64(seq)
+	enc.Digest(digest)
+	return enc.Bytes()
+}
+
+// SiteCert is a site-certified payload: a batch plus n−f member signatures
+// (the stand-in for Steward's threshold signature).
+type SiteCert struct {
+	Kind    uint8
+	Site    types.ClusterID
+	Seq     uint64
+	Digest  types.Digest
+	Batch   types.Batch
+	Signers []types.NodeID
+	Sigs    [][]byte
+}
+
+func (*SiteCert) MsgType() string { return "steward/sitecert" }
+
+// WireSize implements types.Message.
+func (s *SiteCert) WireSize() int {
+	return types.HeaderBytes + s.Batch.WireSize() + len(s.Sigs)*types.SigBytes
+}
+
+// Config parameterizes a Steward replica.
+type Config struct {
+	Topo    config.Topology
+	Self    types.NodeID
+	Records int
+	// Window is the number of concurrently ordered global sequences the
+	// leading site allows (Steward's conservative pipeline).
+	Window int
+}
+
+// agreeState tracks one intra-site agreement round at its representative.
+type agreeState struct {
+	digest types.Digest
+	batch  types.Batch
+	acks   map[types.NodeID][]byte
+	done   bool
+}
+
+// Replica is a Steward replica.
+type Replica struct {
+	cfg       Config
+	env       proto.Env
+	myCluster int
+	members   []types.NodeID
+	isRep     bool
+
+	store  *kvstore.Store
+	ledger *ledger.Ledger
+
+	// representative state
+	queue    []types.Batch // site-certified updates awaiting forwarding
+	agrees   map[string]*agreeState
+	localSeq uint64
+
+	// leading-site representative state
+	pendingUpd []SiteCert
+	nextGlobal uint64
+	inFlight   int
+
+	// global ordering state (all replicas)
+	proposals map[uint64]*SiteCert                // gseq → proposal
+	accepts   map[uint64]map[types.ClusterID]bool // gseq → accepting sites
+	executed  uint64
+	execTxns  uint64
+}
+
+// NewReplica constructs a replica; call Init before use.
+func NewReplica(cfg Config) *Replica {
+	if cfg.Window == 0 {
+		cfg.Window = 8
+	}
+	return &Replica{cfg: cfg}
+}
+
+// Init implements simnet.Handler.
+func (r *Replica) Init(env *simnet.Env) { r.InitEnv(proto.WrapSim(env)) }
+
+// InitEnv wires the replica to an environment.
+func (r *Replica) InitEnv(env proto.Env) {
+	r.env = env
+	r.myCluster = int(r.cfg.Topo.ClusterOf(r.cfg.Self))
+	r.members = r.cfg.Topo.ClusterMembers(r.myCluster)
+	r.isRep = r.cfg.Topo.LocalIndex(r.cfg.Self) == 0
+	r.store = kvstore.New(r.cfg.Records)
+	r.ledger = ledger.New()
+	r.agrees = make(map[string]*agreeState)
+	r.proposals = make(map[uint64]*SiteCert)
+	r.accepts = make(map[uint64]map[types.ClusterID]bool)
+}
+
+// Ledger exposes the replica's chain.
+func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
+
+// Store exposes the replica's table.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// Executed returns the number of globally executed updates.
+func (r *Replica) Executed() uint64 { return r.executed }
+
+func (r *Replica) quorum() int { return len(r.members) - r.cfg.Topo.F() }
+
+func (r *Replica) repOf(site int) types.NodeID { return r.cfg.Topo.ReplicaID(site, 0) }
+
+func (r *Replica) leadingSite() int { return 0 }
+
+// Receive implements simnet.Handler.
+func (r *Replica) Receive(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.env.Suite().ChargeVerify()
+		if !r.isRep {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(r.repOf(r.myCluster), m)
+			return
+		}
+		r.localSeq++
+		r.startAgreement(kindForward, r.localSeq, m.Batch)
+	case *LocalAgree:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onLocalAgree(from, m)
+	case *LocalAck:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onLocalAck(from, m)
+	case *SiteCert:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onSiteCert(from, m)
+	}
+}
+
+func agreeKeyOf(kind uint8, seq uint64) string {
+	return string(rune(kind)) + "/" + string(types.U64Bytes(seq))
+}
+
+// startAgreement runs one intra-site certification round (representative
+// side).
+func (r *Replica) startAgreement(kind uint8, seq uint64, batch types.Batch) {
+	key := agreeKeyOf(kind, seq)
+	if r.agrees[key] != nil {
+		return
+	}
+	d := batch.Digest()
+	st := &agreeState{digest: d, batch: batch, acks: make(map[types.NodeID][]byte)}
+	r.agrees[key] = st
+	m := &LocalAgree{Kind: kind, Site: types.ClusterID(r.myCluster), Seq: seq, Digest: d, Batch: batch}
+	for _, peer := range r.members {
+		if peer != r.cfg.Self {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(peer, m)
+		}
+	}
+	// Own signed ack.
+	sig := r.env.Suite().Sign(ackPayload(kind, types.ClusterID(r.myCluster), seq, d))
+	st.acks[r.cfg.Self] = sig
+	r.maybeCertified(kind, seq, st)
+}
+
+// onLocalAgree runs at site members: sign and return an ack; for proposals
+// and accepts also record the payload for execution. Kind values ≥ 10 are
+// the representative's local distribution of remote sites' accepts (no ack
+// needed).
+func (r *Replica) onLocalAgree(from types.NodeID, m *LocalAgree) {
+	if from != r.repOf(r.myCluster) {
+		return
+	}
+	if m.Kind >= 10 {
+		r.recordAccept(m.Seq, m.Site, m.Batch, m.Digest)
+		return
+	}
+	if int(m.Site) != r.myCluster {
+		return
+	}
+	switch m.Kind {
+	case kindPropose:
+		r.recordProposal(m.Seq, m.Batch, m.Digest)
+	case kindAccept:
+		// Our own site is accepting gseq m.Seq.
+		r.recordAccept(m.Seq, m.Site, m.Batch, m.Digest)
+	}
+	sig := r.env.Suite().Sign(ackPayload(m.Kind, m.Site, m.Seq, m.Digest))
+	r.env.Suite().ChargeMAC()
+	r.env.Send(from, &LocalAck{Kind: m.Kind, Site: m.Site, Seq: m.Seq,
+		Digest: m.Digest, Replica: r.cfg.Self, Sig: sig})
+}
+
+func (r *Replica) onLocalAck(from types.NodeID, m *LocalAck) {
+	if !r.isRep || int(m.Site) != r.myCluster || m.Replica != from {
+		return
+	}
+	key := agreeKeyOf(m.Kind, m.Seq)
+	st := r.agrees[key]
+	if st == nil || st.done || st.digest != m.Digest || st.acks[from] != nil {
+		return
+	}
+	if !r.env.Suite().Verify(from, ackPayload(m.Kind, m.Site, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	st.acks[from] = m.Sig
+	r.maybeCertified(m.Kind, m.Seq, st)
+}
+
+// maybeCertified fires when the site reached n−f acks: the representative
+// assembles the site certificate and advances the global protocol.
+func (r *Replica) maybeCertified(kind uint8, seq uint64, st *agreeState) {
+	if st.done || len(st.acks) < r.quorum() {
+		return
+	}
+	st.done = true
+	cert := &SiteCert{Kind: kind, Site: types.ClusterID(r.myCluster), Seq: seq,
+		Digest: st.digest, Batch: st.batch}
+	for id, sig := range st.acks {
+		cert.Signers = append(cert.Signers, id)
+		cert.Sigs = append(cert.Sigs, sig)
+	}
+
+	switch kind {
+	case kindForward:
+		// Send the certified update to the leading site's representative.
+		r.env.Suite().ChargeMAC()
+		r.env.Send(r.repOf(r.leadingSite()), cert)
+	case kindPropose:
+		// Leading site: send the certified proposal to every site's rep.
+		for site := 0; site < r.cfg.Topo.Clusters; site++ {
+			if site != r.myCluster {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(r.repOf(site), cert)
+			}
+		}
+		r.onSiteCert(r.cfg.Self, cert)
+	case kindAccept:
+		// Broadcast the site's accept to every other representative
+		// (the O(z²) exchange).
+		for site := 0; site < r.cfg.Topo.Clusters; site++ {
+			if site != r.myCluster {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(r.repOf(site), cert)
+			}
+		}
+		r.onSiteCert(r.cfg.Self, cert)
+	}
+}
+
+// verifySiteCert checks a certificate's n−f signatures against the signing
+// site's membership (the compute cost of omitting threshold signatures).
+func (r *Replica) verifySiteCert(m *SiteCert) bool {
+	if len(m.Signers) < r.quorum() || len(m.Signers) != len(m.Sigs) {
+		return false
+	}
+	site := int(m.Site)
+	if site < 0 || site >= r.cfg.Topo.Clusters {
+		return false
+	}
+	member := make(map[types.NodeID]bool)
+	for _, id := range r.cfg.Topo.ClusterMembers(site) {
+		member[id] = true
+	}
+	payload := ackPayload(m.Kind, m.Site, m.Seq, m.Digest)
+	seen := make(map[types.NodeID]bool)
+	for i, id := range m.Signers {
+		if !member[id] || seen[id] {
+			return false
+		}
+		seen[id] = true
+		if !r.env.Suite().Verify(id, payload, m.Sigs[i]) {
+			return false
+		}
+	}
+	return m.Batch.Digest() == m.Digest
+}
+
+func (r *Replica) onSiteCert(from types.NodeID, m *SiteCert) {
+	if !r.isRep {
+		return
+	}
+	if from != r.cfg.Self && !r.verifySiteCert(m) {
+		return
+	}
+	switch m.Kind {
+	case kindForward:
+		// Leading-site rep: queue the update for global assignment.
+		if r.myCluster != r.leadingSite() {
+			return
+		}
+		r.pendingUpd = append(r.pendingUpd, *m)
+		r.tryAssign()
+	case kindPropose:
+		// A certified global proposal: run the local accept agreement (every
+		// site, the leading one included, accepts this way).
+		r.recordProposal(m.Seq, m.Batch, m.Digest)
+		r.startAgreement(kindAccept, m.Seq, m.Batch)
+	case kindAccept:
+		// An accept from another site: distribute locally and count.
+		r.recordAccept(m.Seq, m.Site, m.Batch, m.Digest)
+		for _, peer := range r.members {
+			if peer != r.cfg.Self {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(peer, &LocalAgree{Kind: kindAccept + 10, Site: m.Site,
+					Seq: m.Seq, Digest: m.Digest, Batch: m.Batch})
+			}
+		}
+	}
+}
+
+// tryAssign lets the leading site's representative assign global sequence
+// numbers within its window.
+func (r *Replica) tryAssign() {
+	for len(r.pendingUpd) > 0 && r.inFlight < r.cfg.Window {
+		upd := r.pendingUpd[0]
+		r.pendingUpd = r.pendingUpd[1:]
+		r.nextGlobal++
+		r.inFlight++
+		r.startAgreement(kindPropose, r.nextGlobal, upd.Batch)
+	}
+}
+
+// recordProposal stores the batch proposed at gseq.
+func (r *Replica) recordProposal(gseq uint64, batch types.Batch, digest types.Digest) {
+	if gseq <= r.executed {
+		return
+	}
+	if r.proposals[gseq] == nil {
+		r.proposals[gseq] = &SiteCert{Seq: gseq, Batch: batch, Digest: digest}
+		r.tryExecute()
+	}
+}
+
+// recordAccept counts accepting sites for gseq; a majority of sites decides.
+func (r *Replica) recordAccept(gseq uint64, site types.ClusterID, batch types.Batch, digest types.Digest) {
+	if gseq <= r.executed {
+		return
+	}
+	r.recordProposal(gseq, batch, digest)
+	set := r.accepts[gseq]
+	if set == nil {
+		set = make(map[types.ClusterID]bool)
+		r.accepts[gseq] = set
+	}
+	set[site] = true
+	r.tryExecute()
+}
+
+// majority of sites (the leading site's proposal counts as its accept).
+func (r *Replica) siteMajority() int { return r.cfg.Topo.Clusters/2 + 1 }
+
+func (r *Replica) tryExecute() {
+	for {
+		p := r.proposals[r.executed+1]
+		if p == nil {
+			return
+		}
+		if r.cfg.Topo.Clusters > 1 && len(r.accepts[r.executed+1]) < r.siteMajority() {
+			return
+		}
+		r.executed++
+		batch := p.Batch
+		r.env.Suite().ChargeExec(batch.Len())
+		r.store.ApplyBatch(&batch)
+		// Steward has a single global sequence; blocks carry no site tag.
+		r.ledger.Append(r.executed, 0, batch, p.Digest)
+		r.execTxns += uint64(batch.Len())
+		delete(r.proposals, r.executed)
+		delete(r.accepts, r.executed)
+
+		// Local clients are informed by their own site.
+		cluster := int(batch.Client-types.ClientIDBase) % r.cfg.Topo.Clusters
+		if batch.Client.IsClient() && cluster == r.myCluster {
+			r.env.Suite().ChargeMAC()
+			r.env.Send(batch.Client, &proto.Reply{
+				Client: batch.Client, ClientSeq: batch.Seq,
+				Replica: r.cfg.Self, TxnCount: batch.Len(), Result: p.Digest,
+			})
+		}
+		if r.isRep && r.myCluster == r.leadingSite() {
+			r.inFlight--
+			r.tryAssign()
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package steward_test
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/steward"
+	"resilientdb/internal/types"
+	"resilientdb/internal/ycsb"
+)
+
+// stClient submits to its site representative and waits for f+1 matching
+// local replies.
+type stClient struct {
+	topo      config.Topology
+	cluster   int
+	f         int
+	total     int
+	window    int
+	batchSize int
+
+	env       *simnet.Env
+	wl        *ycsb.Workload
+	nextSeq   uint64
+	acks      map[uint64]map[types.NodeID]bool
+	done      map[uint64]bool
+	completed int
+}
+
+func (c *stClient) Init(env *simnet.Env) {
+	c.env = env
+	c.wl = ycsb.NewWorkload(500, ycsb.DefaultTheta, int64(env.ID()))
+	c.acks = make(map[uint64]map[types.NodeID]bool)
+	c.done = make(map[uint64]bool)
+	for i := 0; i < c.window && int(c.nextSeq) < c.total; i++ {
+		c.submit()
+	}
+}
+
+func (c *stClient) submit() {
+	c.nextSeq++
+	b := c.wl.MakeBatch(c.env.ID(), c.nextSeq, c.batchSize)
+	c.env.Suite().ChargeSign()
+	c.env.Send(c.topo.ReplicaID(c.cluster, 0), &steward.Request{Batch: b})
+}
+
+func (c *stClient) Receive(from types.NodeID, msg types.Message) {
+	rep, ok := msg.(*proto.Reply)
+	if !ok || c.done[rep.ClientSeq] {
+		return
+	}
+	if int(c.topo.ClusterOf(from)) != c.cluster {
+		return
+	}
+	set := c.acks[rep.ClientSeq]
+	if set == nil {
+		set = make(map[types.NodeID]bool)
+		c.acks[rep.ClientSeq] = set
+	}
+	set[from] = true
+	if len(set) >= c.f+1 {
+		c.done[rep.ClientSeq] = true
+		c.completed++
+		if int(c.nextSeq) < c.total {
+			c.submit()
+		}
+	}
+}
+
+func deploy(t *testing.T, z, n, total int, seed int64) (*simnet.Network, config.Topology, map[types.NodeID]*steward.Replica, []*stClient) {
+	t.Helper()
+	topo := config.NewTopology(z, n)
+	net := simnet.New(simnet.Options{Profile: config.GoogleCloudProfile(z), Seed: seed})
+	reps := make(map[types.NodeID]*steward.Replica)
+	for c := 0; c < z; c++ {
+		for i := 0; i < n; i++ {
+			id := topo.ReplicaID(c, i)
+			rep := steward.NewReplica(steward.Config{Topo: topo, Self: id, Records: 500})
+			reps[id] = rep
+			net.AddNode(id, c, rep)
+		}
+	}
+	var cls []*stClient
+	for c := 0; c < z; c++ {
+		cl := &stClient{topo: topo, cluster: c, f: topo.F(),
+			total: total, window: 2, batchSize: 10}
+		cls = append(cls, cl)
+		net.AddNode(config.ClientID(c), c, cl)
+	}
+	return net, topo, reps, cls
+}
+
+func TestTwoSitesNormalCase(t *testing.T) {
+	net, topo, reps, cls := deploy(t, 2, 4, 8, 3)
+	net.RunUntil(240 * time.Second)
+	for i, c := range cls {
+		if c.completed != c.total {
+			t.Errorf("site %d client completed %d/%d", i, c.completed, c.total)
+		}
+	}
+	ref := reps[topo.ReplicaID(0, 0)]
+	for _, id := range topo.AllReplicas() {
+		r := reps[id]
+		if r.Ledger().Head() != ref.Ledger().Head() || r.Ledger().Height() != ref.Ledger().Height() {
+			t.Errorf("%v diverged (h=%d vs %d)", id, r.Ledger().Height(), ref.Ledger().Height())
+		}
+		if r.Store().Digest() != ref.Store().Digest() {
+			t.Errorf("%v store diverged", id)
+		}
+	}
+}
+
+func TestFourSites(t *testing.T) {
+	net, topo, reps, cls := deploy(t, 4, 4, 5, 7)
+	net.RunUntil(300 * time.Second)
+	for i, c := range cls {
+		if c.completed != c.total {
+			t.Errorf("site %d client completed %d/%d", i, c.completed, c.total)
+		}
+	}
+	ref := reps[topo.ReplicaID(0, 0)]
+	for _, id := range topo.AllReplicas() {
+		if reps[id].Ledger().Head() != ref.Ledger().Head() {
+			t.Errorf("%v diverged", id)
+		}
+	}
+}
+
+func TestBackupFailures(t *testing.T) {
+	// f non-representative backups per site crash; Steward must still make
+	// progress (its quorums are n−f).
+	net, topo, reps, cls := deploy(t, 2, 4, 6, 11)
+	for c := 0; c < 2; c++ {
+		net.Crash(topo.ReplicaID(c, 3))
+	}
+	net.RunUntil(300 * time.Second)
+	for i, c := range cls {
+		if c.completed != c.total {
+			t.Errorf("site %d client completed %d/%d", i, c.completed, c.total)
+		}
+	}
+	ref := reps[topo.ReplicaID(0, 0)]
+	for _, id := range topo.AllReplicas() {
+		if topo.LocalIndex(id) == 3 {
+			continue
+		}
+		if reps[id].Ledger().Head() != ref.Ledger().Head() {
+			t.Errorf("%v diverged", id)
+		}
+	}
+}
+
+func TestSingleSite(t *testing.T) {
+	net, topo, reps, cls := deploy(t, 1, 4, 8, 13)
+	net.RunUntil(120 * time.Second)
+	if cls[0].completed != cls[0].total {
+		t.Fatalf("completed %d/%d", cls[0].completed, cls[0].total)
+	}
+	ref := reps[topo.ReplicaID(0, 0)]
+	if ref.Executed() < 8 {
+		t.Errorf("executed %d", ref.Executed())
+	}
+}

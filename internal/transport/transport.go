@@ -1,0 +1,114 @@
+// Package transport provides the message transport used by the real-time
+// ResilientDB fabric (package fabric): an in-process transport connecting
+// node mailboxes with optional injected one-way latency, so a fabric
+// deployment can emulate a geo-distributed network on one machine while
+// exercising the true multi-threaded pipeline.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// Envelope is a routed message.
+type Envelope struct {
+	From types.NodeID
+	Msg  types.Message
+}
+
+// Transport delivers messages between registered nodes.
+type Transport interface {
+	// Register creates the mailbox for a node and returns its receive
+	// channel. Each node must register exactly once.
+	Register(id types.NodeID) <-chan Envelope
+	// Send delivers msg from one node to another. Sends to unknown nodes
+	// are dropped.
+	Send(from, to types.NodeID, msg types.Message)
+	// Close shuts the transport down; all mailboxes are closed.
+	Close()
+}
+
+// Mem is an in-memory transport. Latency, if set, returns the injected
+// one-way delay between two nodes (for example from the Table 1 profile).
+type Mem struct {
+	Latency func(from, to types.NodeID) time.Duration
+
+	mu     sync.RWMutex
+	boxes  map[types.NodeID]chan Envelope
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewMem returns an in-memory transport with the given per-mailbox buffer.
+func NewMem() *Mem {
+	return &Mem{boxes: make(map[types.NodeID]chan Envelope)}
+}
+
+// Register implements Transport.
+func (m *Mem) Register(id types.NodeID) <-chan Envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.boxes[id]; dup {
+		panic("transport: duplicate registration")
+	}
+	ch := make(chan Envelope, 4096)
+	m.boxes[id] = ch
+	return ch
+}
+
+// Send implements Transport. When the destination mailbox is full the
+// message is dropped (consensus protocols tolerate loss; timers recover),
+// which keeps the pipeline non-blocking like a UDP-style transport.
+func (m *Mem) Send(from, to types.NodeID, msg types.Message) {
+	m.mu.RLock()
+	box := m.boxes[to]
+	closed := m.closed
+	lat := time.Duration(0)
+	if m.Latency != nil {
+		lat = m.Latency(from, to)
+	}
+	m.mu.RUnlock()
+	if box == nil || closed {
+		return
+	}
+	deliver := func() {
+		defer func() { recover() }() // racing Close is a dropped message
+		select {
+		case box <- Envelope{From: from, Msg: msg}:
+		default:
+		}
+	}
+	if lat <= 0 {
+		deliver()
+		return
+	}
+	m.wg.Add(1)
+	time.AfterFunc(lat, func() {
+		defer m.wg.Done()
+		m.mu.RLock()
+		stillOpen := !m.closed
+		m.mu.RUnlock()
+		if stillOpen {
+			deliver()
+		}
+	})
+}
+
+// Close implements Transport.
+func (m *Mem) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	boxes := m.boxes
+	m.boxes = map[types.NodeID]chan Envelope{}
+	m.mu.Unlock()
+	m.wg.Wait()
+	for _, ch := range boxes {
+		close(ch)
+	}
+}

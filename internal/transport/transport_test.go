@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+type msg struct{ n int }
+
+func (*msg) MsgType() string { return "test" }
+func (*msg) WireSize() int   { return 8 }
+
+func TestDelivery(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	a := m.Register(1)
+	_ = m.Register(2)
+	m.Send(2, 1, &msg{n: 7})
+	select {
+	case env := <-a:
+		if env.From != 2 || env.Msg.(*msg).n != 7 {
+			t.Errorf("got %+v", env)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	m.Register(1)
+	m.Send(1, 99, &msg{}) // must not panic or block
+}
+
+func TestInjectedLatency(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	m.Latency = func(from, to types.NodeID) time.Duration { return 50 * time.Millisecond }
+	a := m.Register(1)
+	m.Register(2)
+	start := time.Now()
+	m.Send(2, 1, &msg{})
+	select {
+	case <-a:
+		if d := time.Since(start); d < 40*time.Millisecond {
+			t.Errorf("delivered after %v, want ≥ ~50ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestCloseIsIdempotentAndSafe(t *testing.T) {
+	m := NewMem()
+	m.Register(1)
+	m.Send(1, 1, &msg{})
+	m.Close()
+	m.Close()
+	m.Send(1, 1, &msg{}) // after close: dropped, no panic
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	m := NewMem()
+	defer m.Close()
+	m.Register(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Register(1)
+}

@@ -1,0 +1,157 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Encoder builds a canonical, deterministic binary encoding. It is used for
+// signing payloads, digests, and ledger hashing. All integers are big-endian
+// and fixed-width so the encoding of a value is unique.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity hint n.
+func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded bytes. The slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// I32 appends a big-endian int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a big-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Digest appends a 32-byte digest.
+func (e *Encoder) Digest(d Digest) { e.buf = append(e.buf, d[:]...) }
+
+// Bytes32 appends a length-prefixed byte slice.
+func (e *Encoder) BytesN(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) { e.BytesN([]byte(s)) }
+
+// ErrCodec is reported by Decoder when the input is malformed or truncated.
+var ErrCodec = errors.New("types: malformed encoding")
+
+// Decoder reads values written by Encoder. On underflow it records an error
+// and returns zero values; callers check Err once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps buf for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = ErrCodec
+		}
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// I32 reads a big-endian int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Digest reads a 32-byte digest.
+func (d *Decoder) Digest() Digest {
+	var out Digest
+	b := d.take(32)
+	if b != nil {
+		copy(out[:], b)
+	}
+	return out
+}
+
+// BytesN reads a length-prefixed byte slice.
+func (d *Decoder) BytesN() []byte {
+	n := int(d.U32())
+	if d.err != nil || n < 0 || n > d.Remaining() {
+		if d.err == nil {
+			d.err = ErrCodec
+		}
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.take(n))
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.BytesN()) }

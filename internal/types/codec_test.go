@@ -1,0 +1,122 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	enc := NewEncoder(0)
+	enc.U8(7)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.U32(0xdeadbeef)
+	enc.I32(-42)
+	enc.U64(1 << 63)
+	enc.I64(-1)
+	var d Digest
+	d[0], d[31] = 0xaa, 0xbb
+	enc.Digest(d)
+	enc.BytesN([]byte{1, 2, 3})
+	enc.String("geo-scale")
+
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := dec.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := dec.I32(); got != -42 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := dec.U64(); got != 1<<63 {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := dec.I64(); got != -1 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := dec.Digest(); got != d {
+		t.Errorf("Digest = %x", got)
+	}
+	if got := dec.BytesN(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("BytesN = %v", got)
+	}
+	if got := dec.String(); got != "geo-scale" {
+		t.Errorf("String = %q", got)
+	}
+	if dec.Err() != nil {
+		t.Errorf("Err = %v", dec.Err())
+	}
+	if dec.Remaining() != 0 {
+		t.Errorf("Remaining = %d", dec.Remaining())
+	}
+}
+
+func TestDecoderUnderflow(t *testing.T) {
+	dec := NewDecoder([]byte{1, 2})
+	_ = dec.U64()
+	if dec.Err() == nil {
+		t.Error("expected underflow error")
+	}
+	// Further reads stay safe.
+	_ = dec.Digest()
+	_ = dec.BytesN()
+	if dec.Err() == nil {
+		t.Error("error must persist")
+	}
+}
+
+func TestDecoderHostileLengthPrefix(t *testing.T) {
+	enc := NewEncoder(0)
+	enc.U32(0xffffffff) // claims a 4 GiB payload
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.BytesN(); got != nil {
+		t.Errorf("BytesN = %v, want nil", got)
+	}
+	if dec.Err() == nil {
+		t.Error("expected error for hostile length prefix")
+	}
+}
+
+// Property: every (u64, i64, bytes, string) tuple round-trips.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b int64, p []byte, s string) bool {
+		enc := NewEncoder(0)
+		enc.U64(a)
+		enc.I64(b)
+		enc.BytesN(p)
+		enc.String(s)
+		dec := NewDecoder(enc.Bytes())
+		ga, gb := dec.U64(), dec.I64()
+		gp, gs := dec.BytesN(), dec.String()
+		if dec.Err() != nil {
+			return false
+		}
+		return ga == a && gb == b && bytes.Equal(gp, p) && gs == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is canonical — equal values produce equal bytes, and
+// any single-bit difference in inputs changes the bytes.
+func TestCodecCanonicalProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		e1, e2 := NewEncoder(0), NewEncoder(0)
+		e1.U64(a)
+		e2.U64(b)
+		if a == b {
+			return bytes.Equal(e1.Bytes(), e2.Bytes())
+		}
+		return !bytes.Equal(e1.Bytes(), e2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDClassification(t *testing.T) {
+	if NodeID(0).IsClient() || NodeID(59).IsClient() {
+		t.Error("replica IDs misclassified as clients")
+	}
+	if !ClientIDBase.IsClient() || !(ClientIDBase + 100).IsClient() {
+		t.Error("client IDs misclassified as replicas")
+	}
+	if NodeID(3).String() != "r3" {
+		t.Errorf("String = %s", NodeID(3).String())
+	}
+	if (ClientIDBase + 2).String() != "client2" {
+		t.Errorf("String = %s", (ClientIDBase + 2).String())
+	}
+	if NoNode.String() != "node(none)" {
+		t.Errorf("String = %s", NoNode.String())
+	}
+}
+
+func TestBatchDigestDistinguishesContent(t *testing.T) {
+	b1 := Batch{Client: ClientIDBase, Seq: 1, Txns: []Transaction{{Key: 1, Value: 2}}}
+	b2 := Batch{Client: ClientIDBase, Seq: 1, Txns: []Transaction{{Key: 1, Value: 3}}}
+	b3 := Batch{Client: ClientIDBase, Seq: 2, Txns: []Transaction{{Key: 1, Value: 2}}}
+	if b1.Digest() == b2.Digest() {
+		t.Error("different values, same digest")
+	}
+	if b1.Digest() == b3.Digest() {
+		t.Error("different seq, same digest")
+	}
+	if b1.Digest() != b1.Digest() {
+		t.Error("digest not deterministic")
+	}
+	noop := Batch{NoOp: true}
+	if noop.Digest() == b1.Digest() {
+		t.Error("no-op digest collides")
+	}
+}
+
+func TestBatchEncodeRoundTrip(t *testing.T) {
+	f := func(client int32, seq uint64, keys []uint64) bool {
+		b := Batch{Client: NodeID(client), Seq: seq}
+		for i, k := range keys {
+			b.Txns = append(b.Txns, Transaction{Key: k, Value: uint64(i)})
+		}
+		enc := NewEncoder(0)
+		b.Encode(enc)
+		dec := NewDecoder(enc.Bytes())
+		got := DecodeBatch(dec)
+		if dec.Err() != nil {
+			return false
+		}
+		if got.Client != b.Client || got.Seq != b.Seq || len(got.Txns) != len(b.Txns) {
+			return false
+		}
+		for i := range b.Txns {
+			if got.Txns[i] != b.Txns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchWireSizeMatchesPaperCalibration(t *testing.T) {
+	// The paper reports 5.4 kB preprepare payloads at batch size 100.
+	b := Batch{Txns: make([]Transaction, 100)}
+	if got := b.WireSize(); got < 5200 || got > 5700 {
+		t.Errorf("batch-100 wire size = %d B, want ≈5.4 kB", got)
+	}
+}
+
+func TestDigestHelpers(t *testing.T) {
+	if !ZeroDigest.IsZero() {
+		t.Error("ZeroDigest.IsZero() = false")
+	}
+	d := Hash([]byte("x"))
+	if d.IsZero() {
+		t.Error("hash of data is zero")
+	}
+	if len(d.Short()) != 8 {
+		t.Errorf("Short() = %q", d.Short())
+	}
+}

@@ -1,0 +1,93 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const items = 1000
+	z := NewZipfian(items, DefaultTheta)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, items)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		v := z.Next(r)
+		if v >= items {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Zipfian with theta=0.99: item 0 is by far the most popular, and the
+	// head dominates the tail.
+	if counts[0] < counts[items-1] {
+		t.Error("head not more popular than tail")
+	}
+	head := 0
+	for i := 0; i < items/100; i++ { // top 1%
+		head += counts[i]
+	}
+	if frac := float64(head) / draws; frac < 0.3 {
+		t.Errorf("top 1%% of items drew only %.1f%% of accesses, want ≥ 30%%", frac*100)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	z := NewZipfian(100, DefaultTheta)
+	r1 := rand.New(rand.NewSource(9))
+	r2 := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if z.Next(r1) != z.Next(r2) {
+			t.Fatal("same seed, different draws")
+		}
+	}
+}
+
+func TestWorkloadBatches(t *testing.T) {
+	w := NewWorkload(1000, DefaultTheta, 5)
+	b := w.MakeBatch(1<<20, 3, 25)
+	if b.Len() != 25 || b.Seq != 3 {
+		t.Fatalf("batch len=%d seq=%d", b.Len(), b.Seq)
+	}
+	seen := make(map[uint64]bool)
+	for _, txn := range b.Txns {
+		if txn.Key >= 1000 {
+			t.Fatalf("key %d out of range", txn.Key)
+		}
+		if seen[txn.Value] {
+			t.Error("values must be unique (every write changes state)")
+		}
+		seen[txn.Value] = true
+	}
+}
+
+func TestWorkloadScrambles(t *testing.T) {
+	// Scrambled Zipfian: the hottest keys must not all be clustered at the
+	// low end of the key space.
+	w := NewWorkload(10_000, DefaultTheta, 11)
+	low := 0
+	const draws = 10_000
+	for i := 0; i < draws; i++ {
+		if w.NextTxn().Key < 100 {
+			low++
+		}
+	}
+	if float64(low)/draws > 0.2 {
+		t.Errorf("%.1f%% of draws in lowest 1%% of key space: not scrambled", float64(low)/draws*100)
+	}
+}
+
+func TestZetaFinite(t *testing.T) {
+	if v := zeta(DefaultRecords, DefaultTheta); math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Errorf("zeta = %v", v)
+	}
+}
+
+func BenchmarkNextTxn(b *testing.B) {
+	w := NewWorkload(DefaultRecords, DefaultTheta, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.NextTxn()
+	}
+}

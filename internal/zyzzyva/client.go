@@ -1,0 +1,242 @@
+package zyzzyva
+
+import (
+	"time"
+
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+)
+
+// Client implements the Zyzzyva client protocol, which is an active protocol
+// participant: fast-path completion requires identical speculative responses
+// from all n replicas; after SpecTimeout with only n−f matching responses
+// the client assembles and broadcasts a commit certificate and waits for
+// n−f local-commit acknowledgements.
+//
+// Recoveries are serialized per client node, mirroring the recovery
+// bottleneck the paper observes ("this will greatly reduce performance when
+// any replicas are faulty", Section 3): under failures every batch pays the
+// speculative timeout plus a serialized certificate round.
+type Client struct {
+	Members []types.NodeID
+	F       int
+	// SpecTimeout is how long the client waits for the full fast path.
+	SpecTimeout time.Duration
+	// Window is the number of outstanding batches; NextBatch supplies them.
+	Window int
+	// NextBatch returns the next batch to submit, or false when done.
+	NextBatch func() (types.Batch, bool)
+	// OnComplete observes each completed batch (for metrics).
+	OnComplete func(clientSeq uint64, submitted time.Duration, txns int)
+
+	env      *simnet.Env
+	pending  map[uint64]*pendingBatch // by client seq
+	recoverq []uint64
+	inRecov  bool
+
+	// Completed counts finished batches.
+	Completed int
+	// FastPath counts batches completed on the fast path.
+	FastPath int
+	// SlowPath counts batches that needed the certificate phase.
+	SlowPath int
+}
+
+type pendingBatch struct {
+	batch     types.Batch
+	submitted time.Duration
+	specs     map[types.NodeID]*SpecResponse
+	commits   map[types.NodeID]bool
+	certSent  bool
+	done      bool
+}
+
+// Init implements simnet.Handler.
+func (c *Client) Init(env *simnet.Env) {
+	c.env = env
+	c.pending = make(map[uint64]*pendingBatch)
+	if c.SpecTimeout == 0 {
+		c.SpecTimeout = time.Second
+	}
+	for i := 0; i < c.Window; i++ {
+		if !c.submit() {
+			break
+		}
+	}
+}
+
+func (c *Client) submit() bool {
+	b, ok := c.NextBatch()
+	if !ok {
+		return false
+	}
+	p := &pendingBatch{
+		batch:     b,
+		submitted: c.env.Now(),
+		specs:     make(map[types.NodeID]*SpecResponse),
+		commits:   make(map[types.NodeID]bool),
+	}
+	c.pending[b.Seq] = p
+	c.env.Suite().ChargeSign()
+	c.env.Send(c.Members[0], &Request{Batch: b})
+	c.armSpecTimer(b.Seq)
+	return true
+}
+
+func (c *Client) armSpecTimer(seq uint64) {
+	c.env.SetTimer(c.SpecTimeout, func() { c.onSpecTimeout(seq) })
+}
+
+func (c *Client) onSpecTimeout(seq uint64) {
+	p := c.pending[seq]
+	if p == nil || p.done || p.certSent {
+		return
+	}
+	if c.matching(p) >= len(c.Members)-c.F {
+		// Enough matching responses for the certificate path; recoveries are
+		// serialized through a single recovery slot.
+		c.recoverq = append(c.recoverq, seq)
+		c.drainRecovery()
+		return
+	}
+	// Too few responses: retransmit (a lost request, or the primary is
+	// slow); replicas forward to the primary.
+	for _, m := range c.Members {
+		c.env.Send(m, &Request{Batch: p.batch})
+	}
+	c.armSpecTimer(seq)
+}
+
+// matching returns the size of the largest response set agreeing on
+// (seq, history, result).
+func (c *Client) matching(p *pendingBatch) int {
+	counts := make(map[types.Digest]int)
+	best := 0
+	for _, s := range p.specs {
+		enc := types.NewEncoder(96)
+		enc.U64(s.Seq)
+		enc.Digest(s.History)
+		enc.Digest(s.Result)
+		d := types.Hash(enc.Bytes())
+		counts[d]++
+		if counts[d] > best {
+			best = counts[d]
+		}
+	}
+	return best
+}
+
+func (c *Client) drainRecovery() {
+	if c.inRecov || len(c.recoverq) == 0 {
+		return
+	}
+	seq := c.recoverq[0]
+	c.recoverq = c.recoverq[1:]
+	p := c.pending[seq]
+	if p == nil || p.done {
+		c.drainRecovery()
+		return
+	}
+	c.inRecov = true
+	p.certSent = true
+
+	// Assemble the commit certificate from the largest matching set.
+	bySig := make(map[types.Digest][]*SpecResponse)
+	for _, s := range p.specs {
+		enc := types.NewEncoder(96)
+		enc.U64(s.Seq)
+		enc.Digest(s.History)
+		enc.Digest(s.Result)
+		bySig[types.Hash(enc.Bytes())] = append(bySig[types.Hash(enc.Bytes())], s)
+	}
+	var best []*SpecResponse
+	for _, set := range bySig {
+		if len(set) > len(best) {
+			best = set
+		}
+	}
+	need := len(c.Members) - c.F
+	if len(best) < need {
+		// Responses diverged meanwhile; retransmit instead.
+		p.certSent = false
+		c.inRecov = false
+		for _, m := range c.Members {
+			c.env.Send(m, &Request{Batch: p.batch})
+		}
+		c.armSpecTimer(seq)
+		return
+	}
+	best = best[:need]
+	cert := &CommitCert{
+		Seq: best[0].Seq, History: best[0].History, Result: best[0].Result,
+		Client: c.env.ID(),
+	}
+	for _, s := range best {
+		cert.Signers = append(cert.Signers, s.Replica)
+		cert.Sigs = append(cert.Sigs, s.Sig)
+	}
+	for _, m := range c.Members {
+		c.env.Suite().ChargeMAC()
+		c.env.Send(m, cert)
+	}
+}
+
+// Receive implements simnet.Handler.
+func (c *Client) Receive(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *SpecResponse:
+		p := c.pending[m.ClientSeq]
+		if p == nil || p.done || p.specs[from] != nil || m.Replica != from {
+			return
+		}
+		// The client checks each response signature (they may end up in a
+		// commit certificate).
+		c.env.Suite().ChargeVerify()
+		p.specs[from] = m
+		if !p.certSent && c.matching(p) == len(c.Members) {
+			c.FastPath++
+			c.complete(m.ClientSeq, p)
+		}
+	case *LocalCommit:
+		// Find the pending batch in recovery with this consensus seq.
+		for seq, p := range c.pending {
+			if !p.certSent || p.done {
+				continue
+			}
+			if anySpecSeq(p) != m.Seq {
+				continue
+			}
+			if p.commits[from] {
+				return
+			}
+			p.commits[from] = true
+			if len(p.commits) >= len(c.Members)-c.F {
+				c.SlowPath++
+				c.complete(seq, p)
+				c.inRecov = false
+				c.drainRecovery()
+			}
+			return
+		}
+	case *proto.Reply:
+		// Not used by Zyzzyva (responses are SpecResponse).
+	}
+}
+
+func anySpecSeq(p *pendingBatch) uint64 {
+	for _, s := range p.specs {
+		return s.Seq
+	}
+	return 0
+}
+
+func (c *Client) complete(clientSeq uint64, p *pendingBatch) {
+	p.done = true
+	delete(c.pending, clientSeq)
+	c.Completed++
+	if c.OnComplete != nil {
+		c.OnComplete(clientSeq, p.submitted, p.batch.Len())
+	}
+	c.submit()
+}

@@ -1,0 +1,248 @@
+// Package zyzzyva implements the Zyzzyva speculative BFT protocol (Kotla et
+// al.), one of the baselines of the ResilientDB evaluation. The primary
+// orders requests and broadcasts them; replicas execute speculatively and
+// respond directly to the client. A client that receives identical
+// speculative responses from all n replicas completes on the fast path; with
+// only n−f matching responses it assembles a commit certificate and runs a
+// second phase. As the paper notes (Sections 1.1 and 4.3, following
+// Clement et al.), this design delivers high throughput only without
+// failures: one crashed replica forces every request through the timeout +
+// certificate path, collapsing throughput.
+//
+// Per the paper's experiments, Zyzzyva is evaluated with a fixed primary in
+// Oregon and without the client-aided view-change machinery (the paper
+// excludes Zyzzyva from the primary-failure experiment because it already
+// fails under non-primary failures).
+package zyzzyva
+
+import (
+	"resilientdb/internal/kvstore"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+)
+
+// Request carries a client batch to the primary.
+type Request struct {
+	Batch types.Batch
+}
+
+func (*Request) MsgType() string { return "zyzzyva/request" }
+
+// WireSize implements types.Message.
+func (r *Request) WireSize() int { return r.Batch.WireSize() }
+
+// OrderReq is the primary's ordered broadcast of a request.
+type OrderReq struct {
+	Seq     uint64
+	History types.Digest
+	Batch   types.Batch
+}
+
+func (*OrderReq) MsgType() string { return "zyzzyva/orderreq" }
+
+// WireSize implements types.Message.
+func (o *OrderReq) WireSize() int { return types.HeaderBytes + o.Batch.WireSize() }
+
+// SpecResponse is a replica's signed speculative execution response, sent
+// directly to the client.
+type SpecResponse struct {
+	Seq       uint64
+	History   types.Digest
+	Result    types.Digest
+	Replica   types.NodeID
+	Client    types.NodeID
+	ClientSeq uint64
+	TxnCount  int
+	Sig       []byte
+}
+
+func (*SpecResponse) MsgType() string { return "zyzzyva/specresponse" }
+
+// WireSize implements types.Message.
+func (s *SpecResponse) WireSize() int {
+	return types.HeaderBytes + types.ReplyBytesPerTxn*s.TxnCount + types.SigBytes
+}
+
+// SpecPayload is the signed content of a SpecResponse.
+func SpecPayload(seq uint64, history, result types.Digest) []byte {
+	enc := types.NewEncoder(96)
+	enc.String("zyzzyva/SR")
+	enc.U64(seq)
+	enc.Digest(history)
+	enc.Digest(result)
+	return enc.Bytes()
+}
+
+// CommitCert is the client-assembled proof that n−f replicas speculatively
+// executed the request with identical histories; broadcasting it commits the
+// request (the slow path).
+type CommitCert struct {
+	Seq     uint64
+	History types.Digest
+	Result  types.Digest
+	Client  types.NodeID
+	Signers []types.NodeID
+	Sigs    [][]byte
+}
+
+func (*CommitCert) MsgType() string { return "zyzzyva/commitcert" }
+
+// WireSize implements types.Message.
+func (c *CommitCert) WireSize() int {
+	return types.HeaderBytes + len(c.Sigs)*types.SigBytes
+}
+
+// LocalCommit acknowledges a commit certificate to the client.
+type LocalCommit struct {
+	Seq     uint64
+	Replica types.NodeID
+	Client  types.NodeID
+}
+
+func (*LocalCommit) MsgType() string { return "zyzzyva/localcommit" }
+
+// WireSize implements types.Message.
+func (*LocalCommit) WireSize() int { return types.ControlBytes }
+
+// Config parameterizes a Zyzzyva replica.
+type Config struct {
+	Members []types.NodeID
+	Self    types.NodeID
+	F       int
+	Records int
+}
+
+// Replica is a Zyzzyva replica with speculative execution.
+type Replica struct {
+	cfg Config
+	env proto.Env
+
+	nextSeq uint64 // primary only
+	log     map[uint64]*OrderReq
+	history map[uint64]types.Digest
+	execUp  uint64
+	store   *kvstore.Store
+	ledger  *ledger.Ledger
+}
+
+// NewReplica constructs a replica; call Init before use.
+func NewReplica(cfg Config) *Replica { return &Replica{cfg: cfg} }
+
+// Init implements simnet.Handler.
+func (r *Replica) Init(env *simnet.Env) { r.InitEnv(proto.WrapSim(env)) }
+
+// InitEnv wires the replica to an environment.
+func (r *Replica) InitEnv(env proto.Env) {
+	r.env = env
+	r.store = kvstore.New(r.cfg.Records)
+	r.ledger = ledger.New()
+	r.log = make(map[uint64]*OrderReq)
+	r.history = map[uint64]types.Digest{0: {}}
+}
+
+// Ledger exposes the replica's chain.
+func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
+
+// Store exposes the replica's table.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// Executed returns the highest speculatively executed sequence.
+func (r *Replica) Executed() uint64 { return r.execUp }
+
+func (r *Replica) isPrimary() bool { return r.cfg.Self == r.cfg.Members[0] }
+
+// Receive implements simnet.Handler.
+func (r *Replica) Receive(from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.env.Suite().ChargeVerify() // client signature
+		if !r.isPrimary() {
+			// Forward to the primary (client may broadcast on retry).
+			r.env.Suite().ChargeMAC()
+			r.env.Send(r.cfg.Members[0], m)
+			return
+		}
+		r.nextSeq++
+		d := m.Batch.Digest()
+		enc := types.NewEncoder(72)
+		enc.Digest(r.historyAt(r.nextSeq - 1))
+		enc.Digest(d)
+		or := &OrderReq{Seq: r.nextSeq, History: types.Hash(enc.Bytes()), Batch: m.Batch}
+		for _, peer := range r.cfg.Members {
+			if peer != r.cfg.Self {
+				r.env.Suite().ChargeMAC()
+				r.env.Send(peer, or)
+			}
+		}
+		r.onOrderReq(or)
+	case *OrderReq:
+		r.env.Suite().ChargeVerifyMAC()
+		if from != r.cfg.Members[0] {
+			return
+		}
+		r.onOrderReq(m)
+	case *CommitCert:
+		r.onCommitCert(from, m)
+	}
+}
+
+func (r *Replica) historyAt(seq uint64) types.Digest { return r.history[seq] }
+
+func (r *Replica) onOrderReq(m *OrderReq) {
+	if m.Seq <= r.execUp || r.log[m.Seq] != nil {
+		return
+	}
+	r.log[m.Seq] = m
+	// Speculatively execute in order.
+	for {
+		next := r.log[r.execUp+1]
+		if next == nil {
+			return
+		}
+		r.execUp++
+		d := next.Batch.Digest()
+		enc := types.NewEncoder(72)
+		enc.Digest(r.history[r.execUp-1])
+		enc.Digest(d)
+		h := types.Hash(enc.Bytes())
+		r.history[r.execUp] = h
+		delete(r.history, r.execUp-64)
+
+		r.env.Suite().ChargeExec(next.Batch.Len())
+		r.store.ApplyBatch(&next.Batch)
+		r.ledger.Append(r.execUp, 0, next.Batch, d)
+		if r.execUp > 128 {
+			delete(r.log, r.execUp-128)
+		}
+
+		// Signed speculative response straight to the client.
+		sig := r.env.Suite().Sign(SpecPayload(r.execUp, h, d))
+		r.env.Suite().ChargeMAC()
+		r.env.Send(next.Batch.Client, &SpecResponse{
+			Seq: r.execUp, History: h, Result: d,
+			Replica: r.cfg.Self, Client: next.Batch.Client,
+			ClientSeq: next.Batch.Seq, TxnCount: next.Batch.Len(), Sig: sig,
+		})
+	}
+}
+
+func (r *Replica) onCommitCert(from types.NodeID, m *CommitCert) {
+	if len(m.Signers) < len(r.cfg.Members)-r.cfg.F || len(m.Signers) != len(m.Sigs) {
+		return
+	}
+	payload := SpecPayload(m.Seq, m.History, m.Result)
+	seen := make(map[types.NodeID]bool)
+	for i, s := range m.Signers {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		if !r.env.Suite().Verify(s, payload, m.Sigs[i]) {
+			return
+		}
+	}
+	r.env.Suite().ChargeMAC()
+	r.env.Send(from, &LocalCommit{Seq: m.Seq, Replica: r.cfg.Self, Client: from})
+}

