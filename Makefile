@@ -1,0 +1,26 @@
+# Tier-1 verification is `make check`: everything CI needs to trust a change.
+
+GO ?= go
+
+.PHONY: check build test race vet fmt fuzz
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+# Short fuzz pass over the wire codec (decode must never panic).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/types/

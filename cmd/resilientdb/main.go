@@ -1,55 +1,219 @@
-// Command resilientdb runs an interactive fabric demo: a geo-emulated
-// deployment processing a stream of transactions while reporting progress,
-// optionally with a mid-run primary crash.
+// Command resilientdb runs a ResilientDB fabric in one of two modes.
 //
-// Usage:
+// In-process demo (default): a geo-emulated deployment processing a stream
+// of transactions while reporting progress, optionally with a mid-run
+// primary crash:
 //
 //	resilientdb [-clusters 2] [-replicas 4] [-batches 50] [-crash] [-wan]
+//
+// Multi-process cluster: with -listen, this process becomes one member of a
+// deployment whose z×n replicas (and clients) run as separate OS processes
+// connected over real TCP with the length-prefixed wire codec. Launch one
+// process per replica and one per client, all sharing the same -peers and
+// -clients address books:
+//
+//	resilientdb -listen :7000 -id 0 -peers :7000,:7001,...,:7007 -clients :7100,:7101
+//	...                                                    (one per replica)
+//	resilientdb -listen :7100 -client 0 -peers ... -clients ... -batches 50
+//
+// A replica process serves until SIGINT/SIGTERM (or -serve elapses), then
+// verifies its ledger and prints one final line:
+//
+//	replica 3: ledger height=107 head=ab12cd34 verified
+//
+// Identical heads across replicas demonstrate agreement. A client process
+// submits -batches batches to its home cluster and prints:
+//
+//	client 1: committed 50/50 batches in 1.2s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"resilientdb"
 )
 
 func main() {
-	clusters := flag.Int("clusters", 2, "number of clusters (regions)")
-	replicas := flag.Int("replicas", 4, "replicas per cluster")
-	batches := flag.Int("batches", 50, "batches to submit per cluster")
-	crash := flag.Bool("crash", false, "crash the cluster-0 primary mid-run")
-	wan := flag.Bool("wan", false, "emulate Table-1 WAN latencies between clusters")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "resilientdb:") {
+			msg = "resilientdb: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
+	}
+}
 
-	db, err := resilientdb.Open(resilientdb.Options{
+// run executes one process's role; it is the whole command, factored so the
+// multi-process test can re-execute itself into any role.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("resilientdb", flag.ContinueOnError)
+	clusters := fs.Int("clusters", 2, "number of clusters (regions)")
+	replicas := fs.Int("replicas", 4, "replicas per cluster")
+	batches := fs.Int("batches", 50, "batches to submit per client")
+	batchSize := fs.Int("batch-size", 10, "transactions per batch")
+	crash := fs.Bool("crash", false, "crash the cluster-0 primary mid-run (in-process mode)")
+	wan := fs.Bool("wan", false, "emulate Table-1 WAN latencies between clusters")
+	listen := fs.String("listen", "", "TCP listen address; enables multi-process mode")
+	peers := fs.String("peers", "", "comma-separated listen addresses of all z×n replicas, in global order")
+	clientAddrs := fs.String("clients", "", "comma-separated listen addresses of the client processes")
+	id := fs.Int("id", -1, "global replica index hosted by this process (multi-process mode)")
+	clientIdx := fs.Int("client", -1, "client index run by this process (multi-process mode)")
+	serve := fs.Duration("serve", 0, "replica auto-shutdown after this duration (0: run until signal)")
+	localTimeout := fs.Duration("local-timeout", 500*time.Millisecond, "local view-change timeout")
+	remoteTimeout := fs.Duration("remote-timeout", time.Second, "remote view-change timeout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	if *listen == "" {
+		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout)
+	}
+
+	net := &resilientdb.NetOptions{
+		Listen:   *listen,
+		Replicas: splitAddrs(*peers),
+		Clients:  splitAddrs(*clientAddrs),
+	}
+	switch {
+	case *id >= 0 && *clientIdx >= 0:
+		return errors.New("pass either -id or -client, not both")
+	case *id >= 0:
+		net.LocalReplicas = []int{*id}
+	case *clientIdx < 0:
+		return errors.New("multi-process mode needs -id (replica) or -client (client)")
+	default:
+		// Fail fast on a client index with no reply address: replicas would
+		// silently drop every reply and each Submit would run to timeout.
+		if *clientIdx >= len(net.Clients) {
+			return fmt.Errorf("client index %d needs an entry in -clients (got %d)",
+				*clientIdx, len(net.Clients))
+		}
+	}
+
+	opts := resilientdb.Options{
 		Clusters:           *clusters,
 		ReplicasPerCluster: *replicas,
-		BatchSize:          10,
+		BatchSize:          *batchSize,
 		EmulateWAN:         *wan,
-		LocalTimeout:       500 * time.Millisecond,
-		RemoteTimeout:      time.Second,
+		LocalTimeout:       *localTimeout,
+		RemoteTimeout:      *remoteTimeout,
+		Net:                net,
+	}
+	db, err := resilientdb.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	if *id >= 0 {
+		return runReplica(out, db, *id, *replicas, *serve)
+	}
+	return runClient(out, db, *clientIdx, *batches, *batchSize)
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// runReplica serves one replica until a signal (or -serve elapses), then
+// verifies and reports its ledger.
+func runReplica(out io.Writer, db *resilientdb.DB, id, perCluster int, serve time.Duration) error {
+	fmt.Fprintf(out, "replica %d: serving on %s\n", id, db.ListenAddr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if serve > 0 {
+		select {
+		case <-sig:
+		case <-time.After(serve):
+		}
+	} else {
+		<-sig
+	}
+	db.Close()
+
+	led := db.ReplicaLedger(id/perCluster, id%perCluster)
+	if led == nil {
+		return fmt.Errorf("replica %d not hosted here", id)
+	}
+	if err := led.Verify(); err != nil {
+		return fmt.Errorf("replica %d: ledger verify: %w", id, err)
+	}
+	fmt.Fprintf(out, "replica %d: ledger height=%d head=%s verified\n",
+		id, led.Height(), led.Head().Short())
+	return nil
+}
+
+// runClient submits batches to the client's home cluster and reports how
+// many committed.
+func runClient(out io.Writer, db *resilientdb.DB, idx, batches, batchSize int) error {
+	client := db.Client(idx)
+	defer client.Close()
+	start := time.Now()
+	ok := 0
+	for i := 0; i < batches; i++ {
+		txns := make([]resilientdb.Transaction, batchSize)
+		for j := range txns {
+			txns[j] = resilientdb.Transaction{
+				Key:   uint64(idx)<<32 | uint64(i*batchSize+j),
+				Value: uint64(i),
+			}
+		}
+		if err := client.Submit(txns, 30*time.Second); err == nil {
+			ok++
+		}
+	}
+	fmt.Fprintf(out, "client %d: committed %d/%d batches in %v\n",
+		idx, ok, batches, time.Since(start).Round(time.Millisecond))
+	if ok < batches {
+		return fmt.Errorf("client %d: only %d/%d batches committed", idx, ok, batches)
+	}
+	return nil
+}
+
+// runInProcess is the original single-process demo.
+func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration) error {
+	db, err := resilientdb.Open(resilientdb.Options{
+		Clusters:           clusters,
+		ReplicasPerCluster: replicas,
+		BatchSize:          batchSize,
+		EmulateWAN:         wan,
+		LocalTimeout:       localTimeout,
+		RemoteTimeout:      remoteTimeout,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer db.Close()
 	z, n, f := db.Topology()
-	fmt.Printf("resilientdb: %d×%d replicas (f=%d per cluster), wan=%v\n", z, n, f, *wan)
+	fmt.Fprintf(out, "resilientdb: %d×%d replicas (f=%d per cluster), wan=%v\n", z, n, f, wan)
 
-	done := make(chan int, *clusters)
-	for c := 0; c < *clusters; c++ {
+	done := make(chan int, clusters)
+	for c := 0; c < clusters; c++ {
 		c := c
 		go func() {
 			client := db.Client(c)
 			defer client.Close()
 			ok := 0
-			for i := 0; i < *batches; i++ {
-				txns := make([]resilientdb.Transaction, 10)
+			for i := 0; i < batches; i++ {
+				txns := make([]resilientdb.Transaction, batchSize)
 				for j := range txns {
-					txns[j] = resilientdb.Transaction{Key: uint64(c*1_000_000 + i*10 + j), Value: uint64(i)}
+					txns[j] = resilientdb.Transaction{Key: uint64(c*1_000_000 + i*batchSize + j), Value: uint64(i)}
 				}
 				if err := client.Submit(txns, 30*time.Second); err == nil {
 					ok++
@@ -59,25 +223,26 @@ func main() {
 		}()
 	}
 
-	if *crash {
+	if crash {
 		time.Sleep(300 * time.Millisecond)
-		fmt.Println("crashing cluster-0 primary…")
+		fmt.Fprintln(out, "crashing cluster-0 primary…")
 		db.CrashReplica(0, 0)
 	}
 
 	start := time.Now()
 	total := 0
-	for c := 0; c < *clusters; c++ {
+	for c := 0; c < clusters; c++ {
 		total += <-done
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("committed %d/%d batches in %v\n", total, *clusters**batches, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "committed %d/%d batches in %v\n", total, clusters*batches, elapsed.Round(time.Millisecond))
 
 	time.Sleep(200 * time.Millisecond)
 	db.Close()
 	led := db.ReplicaLedger(0, 1)
 	if err := led.Verify(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("ledger: %d blocks, head %s (verified)\n", led.Height(), led.Head().Short())
+	fmt.Fprintf(out, "ledger: %d blocks, head %s (verified)\n", led.Height(), led.Head().Short())
+	return nil
 }

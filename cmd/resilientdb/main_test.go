@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the multi-process entry point: when re-executed with
+// RESDB_ROLE=proc the test binary becomes a real replica or client process
+// running the command's own run() — so TestMultiProcessCluster exercises
+// exactly the code path of `resilientdb -listen ... -id ...`.
+func TestMain(m *testing.M) {
+	if os.Getenv("RESDB_ROLE") == "proc" {
+		if err := run(os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "resilientdb:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// reserveAddrs grabs n distinct loopback ports by listening and releasing
+// them just before the processes start.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+type proc struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+}
+
+func startProc(t *testing.T, args ...string) *proc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: exec.Command(exe, args...), out: &bytes.Buffer{}}
+	p.cmd.Env = append(os.Environ(), "RESDB_ROLE=proc")
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// waitProc waits for a process with a deadline; on timeout it kills the
+// process and reports failure.
+func waitProc(t *testing.T, p *proc, what string, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s failed: %v\noutput:\n%s", what, err, p.out.String())
+		}
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-done
+		t.Fatalf("%s did not finish within %v\noutput:\n%s", what, timeout, p.out.String())
+	}
+}
+
+// TestMultiProcessCluster is the acceptance run: a z=2, n=4 deployment of 8
+// separate replica OS processes over TCP on localhost, driven by one client
+// process per cluster submitting 50 batches each. Every replica must report
+// a verified ledger and all heads must be identical.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run")
+	}
+	const (
+		z, n       = 2, 4
+		numBatches = 50
+	)
+	addrs := reserveAddrs(t, z*n+z)
+	replicaAddrs := addrs[:z*n]
+	clientAddrs := addrs[z*n:]
+	peers := joinAddrs(replicaAddrs)
+	clients := joinAddrs(clientAddrs)
+
+	common := []string{
+		"-clusters", strconv.Itoa(z),
+		"-replicas", strconv.Itoa(n),
+		"-peers", peers,
+		"-clients", clients,
+		"-local-timeout", "2s",
+		"-remote-timeout", "3s",
+	}
+
+	replicas := make([]*proc, z*n)
+	for i := range replicas {
+		replicas[i] = startProc(t, append([]string{
+			"-listen", replicaAddrs[i], "-id", strconv.Itoa(i),
+		}, common...)...)
+	}
+	defer func() {
+		for _, p := range replicas {
+			if p.cmd.ProcessState == nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+
+	clientProcs := make([]*proc, z)
+	var wg sync.WaitGroup
+	for c := range clientProcs {
+		clientProcs[c] = startProc(t, append([]string{
+			"-listen", clientAddrs[c], "-client", strconv.Itoa(c),
+			"-batches", strconv.Itoa(numBatches), "-batch-size", "5",
+		}, common...)...)
+	}
+	for c, p := range clientProcs {
+		wg.Add(1)
+		go func(c int, p *proc) {
+			defer wg.Done()
+			waitProc(t, p, fmt.Sprintf("client %d", c), 120*time.Second)
+		}(c, p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	committed := regexp.MustCompile(`committed (\d+)/(\d+) batches`)
+	for c, p := range clientProcs {
+		m := committed.FindStringSubmatch(p.out.String())
+		if m == nil || m[1] != strconv.Itoa(numBatches) {
+			t.Fatalf("client %d did not commit %d batches:\n%s", c, numBatches, p.out.String())
+		}
+	}
+
+	// Let stragglers finish executing the final rounds, then stop every
+	// replica and collect its verified ledger head.
+	time.Sleep(3 * time.Second)
+	for _, p := range replicas {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	heads := make([]string, z*n)
+	heights := make([]int, z*n)
+	final := regexp.MustCompile(`replica (\d+): ledger height=(\d+) head=([0-9a-f]+) verified`)
+	for i, p := range replicas {
+		waitProc(t, p, fmt.Sprintf("replica %d", i), 30*time.Second)
+		m := final.FindStringSubmatch(p.out.String())
+		if m == nil {
+			t.Fatalf("replica %d printed no verified ledger line:\n%s", i, p.out.String())
+		}
+		heights[i], _ = strconv.Atoi(m[2])
+		heads[i] = m[3]
+	}
+	for i := 1; i < len(heads); i++ {
+		if heads[i] != heads[0] || heights[i] != heights[0] {
+			t.Errorf("replica %d ledger (height=%d head=%s) differs from replica 0 (height=%d head=%s)",
+				i, heights[i], heads[i], heights[0], heads[0])
+		}
+	}
+	// Two clients × 50 batches: with one consensus decision per submitted
+	// batch, every ledger must hold at least 50 blocks per cluster.
+	if heights[0] < z*numBatches {
+		t.Errorf("ledger height %d < %d expected committed batches", heights[0], z*numBatches)
+	}
+}
+
+func joinAddrs(addrs []string) string {
+	out := ""
+	for i, a := range addrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}

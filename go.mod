@@ -1,0 +1,3 @@
+module resilientdb
+
+go 1.22

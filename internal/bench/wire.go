@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the network-probe messages. These only ever travel inside
+// the discrete-event simulator, but they are registered like every other
+// message so the codec-coverage guarantee ("every types.Message round-trips
+// through EncodeMessage/DecodeMessage") holds repo-wide.
+
+// EncodeBody implements types.WireMessage.
+func (p *pingMsg) EncodeBody(enc *types.Encoder) { enc.I64(int64(p.t0)) }
+
+// EncodeBody implements types.WireMessage.
+func (p *pongMsg) EncodeBody(enc *types.Encoder) { enc.I64(int64(p.t0)) }
+
+// EncodeBody implements types.WireMessage.
+func (*bulkMsg) EncodeBody(*types.Encoder) {}
+
+func init() {
+	types.RegisterMessage((*pingMsg)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return &pingMsg{t0: time.Duration(dec.I64())} },
+		func() []types.Message {
+			return []types.Message{&pingMsg{}, &pingMsg{t0: 5 * time.Millisecond}}
+		})
+	types.RegisterMessage((*pongMsg)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return &pongMsg{t0: time.Duration(dec.I64())} },
+		func() []types.Message {
+			return []types.Message{&pongMsg{}, &pongMsg{t0: 7 * time.Millisecond}}
+		})
+	types.RegisterMessage((*bulkMsg)(nil).MsgType(),
+		func(*types.Decoder) types.Message { return &bulkMsg{} },
+		func() []types.Message { return []types.Message{&bulkMsg{}} })
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"resilientdb/internal/config"
@@ -135,9 +136,10 @@ type Replica struct {
 	reshareFloor  uint64
 	lastInstalled time.Duration
 
-	// stats
-	execBatches uint64
-	execTxns    uint64
+	// stats (atomic: the fabric's monitoring APIs read them while the
+	// worker goroutine executes)
+	execBatches atomic.Uint64
+	execTxns    atomic.Uint64
 }
 
 // NewReplica constructs a GeoBFT replica. Call Init (or InitEnv) before use.
@@ -225,8 +227,9 @@ func (r *Replica) Local() *pbft.Replica { return r.local }
 // ExecutedRound returns the last fully executed global round.
 func (r *Replica) ExecutedRound() uint64 { return r.executedRound }
 
-// ExecutedTxns returns the number of transactions executed.
-func (r *Replica) ExecutedTxns() uint64 { return r.execTxns }
+// ExecutedTxns returns the number of transactions executed. It is safe to
+// call while the replica is running.
+func (r *Replica) ExecutedTxns() uint64 { return r.execTxns.Load() }
 
 // --- client admission and pipelining ---------------------------------------
 
@@ -410,8 +413,8 @@ func (r *Replica) tryExecute() {
 			if batch.NoOp {
 				continue
 			}
-			r.execBatches++
-			r.execTxns += uint64(batch.Len())
+			r.execBatches.Add(1)
+			r.execTxns.Add(uint64(batch.Len()))
 			// Inform only local clients (Section 2.4).
 			if r.cfg.ClientCluster(batch.Client) == r.myCluster && batch.Client.IsClient() {
 				r.env.Suite().ChargeMAC()

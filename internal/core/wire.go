@@ -1,0 +1,100 @@
+package core
+
+import (
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the GeoBFT cross-cluster messages, registered with the
+// message-type registry in internal/types.
+
+// EncodeBody implements types.WireMessage.
+func (g *GlobalShare) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(g.Cluster))
+	enc.U64(g.Round)
+	enc.Bool(g.Cert != nil)
+	if g.Cert != nil {
+		g.Cert.EncodeBody(enc)
+	}
+}
+
+func decodeGlobalShare(dec *types.Decoder) types.Message {
+	g := &GlobalShare{}
+	g.Cluster = types.ClusterID(dec.I32())
+	g.Round = dec.U64()
+	if dec.Bool() {
+		g.Cert = pbft.DecodeCertificateBody(dec)
+	}
+	return g
+}
+
+// EncodeBody implements types.WireMessage.
+func (d *DRvc) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(d.Target))
+	enc.U64(d.Round)
+	enc.U64(d.V)
+	enc.I32(int32(d.Replica))
+}
+
+func decodeDRvc(dec *types.Decoder) types.Message {
+	m := &DRvc{}
+	m.Target = types.ClusterID(dec.I32())
+	m.Round = dec.U64()
+	m.V = dec.U64()
+	m.Replica = types.NodeID(dec.I32())
+	return m
+}
+
+// EncodeBody implements types.WireMessage.
+func (r *Rvc) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(r.Target))
+	enc.I32(int32(r.From))
+	enc.U64(r.Round)
+	enc.U64(r.V)
+	enc.I32(int32(r.Replica))
+	enc.BytesN(r.Sig)
+}
+
+func decodeRvc(dec *types.Decoder) types.Message {
+	m := &Rvc{}
+	m.Target = types.ClusterID(dec.I32())
+	m.From = types.ClusterID(dec.I32())
+	m.Round = dec.U64()
+	m.V = dec.U64()
+	m.Replica = types.NodeID(dec.I32())
+	m.Sig = dec.BytesN()
+	return m
+}
+
+func init() {
+	types.RegisterMessage((*GlobalShare)(nil).MsgType(), decodeGlobalShare, func() []types.Message {
+		b := types.Batch{Client: types.ClientIDBase, Seq: 1, Txns: []types.Transaction{{Key: 8, Value: 9}}}
+		return []types.Message{
+			&GlobalShare{},
+			&GlobalShare{
+				Cluster: 1,
+				Round:   5,
+				Cert: &pbft.Certificate{
+					View:    0,
+					Seq:     5,
+					Digest:  b.Digest(),
+					Batch:   b,
+					Signers: []types.NodeID{4, 5, 6},
+					Sigs:    [][]byte{{1}, {2}, {3}},
+				},
+			},
+		}
+	})
+	types.RegisterMessage((*DRvc)(nil).MsgType(), decodeDRvc, func() []types.Message {
+		return []types.Message{
+			&DRvc{},
+			&DRvc{Target: 1, Round: 3, V: 2, Replica: 6},
+		}
+	})
+	types.RegisterMessage((*Rvc)(nil).MsgType(), decodeRvc, func() []types.Message {
+		return []types.Message{
+			&Rvc{},
+			&Rvc{Target: 0, From: 1, Round: 3, V: 1, Replica: 5, Sig: []byte{0xde, 0xad}},
+		}
+	})
+}

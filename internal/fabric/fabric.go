@@ -43,21 +43,32 @@ type Config struct {
 	LocalTimeout  time.Duration
 	RemoteTimeout time.Duration
 	// Latency, if set, injects one-way delays between nodes (emulating a
-	// geo-distributed deployment in-process).
+	// geo-distributed deployment in-process). Ignored when Transport is
+	// provided — set the latency on the transport itself instead.
 	Latency func(from, to types.NodeID) time.Duration
+	// Transport carries messages between nodes. Nil selects an in-process
+	// Mem transport (every replica runs in this process); a transport.TCP
+	// lets the deployment span separate OS processes. The fabric takes
+	// ownership and closes it on Stop.
+	Transport transport.Transport
+	// Local restricts which replicas this process hosts (multi-process
+	// deployments over TCP). Nil means all replicas run here.
+	Local []types.NodeID
 }
 
-// Fabric is a running deployment: all replicas plus the shared transport.
+// Fabric is a running deployment: this process's replicas plus the shared
+// transport.
 type Fabric struct {
 	cfg   Config
-	tr    *transport.Mem
+	tr    transport.Transport
 	dir   *crypto.Directory
 	nodes map[types.NodeID]*Node
 	mu    sync.Mutex
 	nextC int
 }
 
-// New builds and starts a fabric deployment.
+// New builds and starts a fabric deployment (or, with cfg.Local set, this
+// process's slice of one).
 func New(cfg Config) *Fabric {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 100
@@ -71,13 +82,23 @@ func New(cfg Config) *Fabric {
 	if cfg.RemoteTimeout == 0 {
 		cfg.RemoteTimeout = 3 * time.Second
 	}
-	tr := transport.NewMem()
-	tr.Latency = cfg.Latency
+	tr := cfg.Transport
+	if tr == nil {
+		mem := transport.NewMem()
+		mem.Latency = cfg.Latency
+		tr = mem
+	}
 	f := &Fabric{cfg: cfg, tr: tr, nodes: make(map[types.NodeID]*Node)}
 
-	ids := cfg.Topo.AllReplicas()
-	f.dir = crypto.NewDirectory(cfg.Mode, append(ids, clientIDs(64)...))
-	for _, id := range ids {
+	// Key material covers the whole topology regardless of which replicas
+	// run here: it is derived deterministically per node, so every process
+	// of a multi-process deployment provisions identical directories.
+	f.dir = crypto.NewDirectory(cfg.Mode, append(cfg.Topo.AllReplicas(), clientIDs(64)...))
+	local := cfg.Local
+	if local == nil {
+		local = cfg.Topo.AllReplicas()
+	}
+	for _, id := range local {
 		f.nodes[id] = newNode(f, id)
 	}
 	for _, n := range f.nodes {
@@ -97,9 +118,15 @@ func clientIDs(n int) []types.NodeID {
 // Node returns the replica runtime for id.
 func (f *Fabric) Node(id types.NodeID) *Node { return f.nodes[id] }
 
-// Replica returns the GeoBFT state machine of a replica (read access should
-// happen after Stop, or tolerate racing the worker).
-func (f *Fabric) Replica(id types.NodeID) *core.Replica { return f.nodes[id].replica }
+// Replica returns the GeoBFT state machine of a replica, or nil if the
+// replica is not hosted by this process (read access should happen after
+// Stop, or tolerate racing the worker).
+func (f *Fabric) Replica(id types.NodeID) *core.Replica {
+	if n := f.nodes[id]; n != nil {
+		return n.replica
+	}
+	return nil
+}
 
 // Stop shuts down every node and the transport.
 func (f *Fabric) Stop() {

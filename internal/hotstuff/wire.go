@@ -1,0 +1,131 @@
+package hotstuff
+
+import (
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the HotStuff baseline's messages, registered with the
+// message-type registry in internal/types.
+
+// EncodeBody implements types.WireMessage.
+func (r *Request) EncodeBody(enc *types.Encoder) {
+	r.Batch.Encode(enc)
+}
+
+func decodeRequest(dec *types.Decoder) types.Message {
+	return &Request{Batch: types.DecodeBatch(dec)}
+}
+
+// EncodeBody implements types.WireMessage.
+func (p *Propose) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(p.Leader))
+	enc.U64(p.Slot)
+	p.Batch.Encode(enc)
+}
+
+func decodePropose(dec *types.Decoder) types.Message {
+	p := &Propose{}
+	p.Leader = types.NodeID(dec.I32())
+	p.Slot = dec.U64()
+	p.Batch = types.DecodeBatch(dec)
+	return p
+}
+
+// EncodeBody implements types.WireMessage.
+func (v *Vote) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(v.Leader))
+	enc.U64(v.Slot)
+	enc.U8(uint8(v.Phase))
+	enc.Digest(v.Digest)
+	enc.I32(int32(v.Replica))
+	enc.BytesN(v.Sig)
+}
+
+func decodeVote(dec *types.Decoder) types.Message {
+	v := &Vote{}
+	v.Leader = types.NodeID(dec.I32())
+	v.Slot = dec.U64()
+	v.Phase = Phase(dec.U8())
+	v.Digest = dec.Digest()
+	v.Replica = types.NodeID(dec.I32())
+	v.Sig = dec.BytesN()
+	return v
+}
+
+// EncodeBody implements types.WireMessage.
+func (q *QC) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(q.Leader))
+	enc.U64(q.Slot)
+	enc.U8(uint8(q.Phase))
+	enc.Digest(q.Digest)
+	enc.NodeIDs(q.Signers)
+	enc.SigList(q.Sigs)
+}
+
+func decodeQC(dec *types.Decoder) types.Message {
+	q := &QC{}
+	q.Leader = types.NodeID(dec.I32())
+	q.Slot = dec.U64()
+	q.Phase = Phase(dec.U8())
+	q.Digest = dec.Digest()
+	q.Signers = dec.NodeIDs()
+	q.Sigs = dec.SigList()
+	return q
+}
+
+// EncodeBody implements types.WireMessage.
+func (s *SkipVote) EncodeBody(enc *types.Encoder) {
+	enc.I32(int32(s.Leader))
+	enc.U64(s.Slot)
+	enc.I32(int32(s.Replica))
+	enc.BytesN(s.Sig)
+}
+
+func decodeSkipVote(dec *types.Decoder) types.Message {
+	s := &SkipVote{}
+	s.Leader = types.NodeID(dec.I32())
+	s.Slot = dec.U64()
+	s.Replica = types.NodeID(dec.I32())
+	s.Sig = dec.BytesN()
+	return s
+}
+
+func init() {
+	b := func() types.Batch {
+		return types.Batch{Client: types.ClientIDBase + 2, Seq: 4, Txns: []types.Transaction{{Key: 5, Value: 6}}}
+	}
+	types.RegisterMessage((*Request)(nil).MsgType(), decodeRequest, func() []types.Message {
+		return []types.Message{&Request{}, &Request{Batch: b()}}
+	})
+	types.RegisterMessage((*Propose)(nil).MsgType(), decodePropose, func() []types.Message {
+		return []types.Message{
+			&Propose{},
+			&Propose{Leader: 1, Slot: 8, Batch: b()},
+		}
+	})
+	types.RegisterMessage((*Vote)(nil).MsgType(), decodeVote, func() []types.Message {
+		return []types.Message{
+			&Vote{},
+			&Vote{Leader: 1, Slot: 8, Phase: PhaseCommit, Digest: types.Hash([]byte("v")), Replica: 2, Sig: []byte{1}},
+		}
+	})
+	types.RegisterMessage((*QC)(nil).MsgType(), decodeQC, func() []types.Message {
+		return []types.Message{
+			&QC{},
+			&QC{
+				Leader:  1,
+				Slot:    8,
+				Phase:   PhasePreCommit,
+				Digest:  types.Hash([]byte("q")),
+				Signers: []types.NodeID{0, 1, 2},
+				Sigs:    [][]byte{{1}, {2}, {3}},
+			},
+		}
+	})
+	types.RegisterMessage((*SkipVote)(nil).MsgType(), decodeSkipVote, func() []types.Message {
+		return []types.Message{
+			&SkipVote{},
+			&SkipVote{Leader: 1, Slot: 8, Replica: 3, Sig: []byte{7}},
+		}
+	})
+}

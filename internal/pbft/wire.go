@@ -1,0 +1,370 @@
+package pbft
+
+import (
+	"resilientdb/internal/types"
+)
+
+// Wire codec: the canonical binary body of every PBFT message, built on the
+// deterministic types.Encoder/Decoder and registered with the message-type
+// registry in internal/types so EncodeMessage/DecodeMessage round-trip any
+// of them. Decoders never panic on malformed input: element counts are
+// bounded against the remaining input and errors surface via Decoder.Err.
+
+// Conservative lower bounds on the encoded size of one element, used to
+// bound allocation counts while decoding.
+const (
+	minBatchBytes      = 4 + 8 + 1 + 4  // Client + Seq + NoOp + txn count
+	minCheckpointBytes = 8 + 32 + 4 + 4 // Seq + Digest + Replica + empty Sig
+	minCertBytes       = 8 + 8 + 32 + minBatchBytes + 4 + 4
+	minProofBytes      = 8 + 8 + 32 + minBatchBytes + 4 + 4 + 1
+	minViewChangeBytes = 8 + 4 + 8 + 4 + 4 + 4
+	minPrePrepareBytes = 8 + 8 + 32 + minBatchBytes
+)
+
+// EncodeBody implements types.WireMessage.
+func (r *Request) EncodeBody(enc *types.Encoder) {
+	r.Batch.Encode(enc)
+	enc.Bool(r.Forwarded)
+}
+
+func decodeRequest(dec *types.Decoder) types.Message {
+	r := &Request{Batch: types.DecodeBatch(dec)}
+	r.Forwarded = dec.Bool()
+	return r
+}
+
+// EncodeBody implements types.WireMessage.
+func (p *PrePrepare) EncodeBody(enc *types.Encoder) {
+	enc.U64(p.View)
+	enc.U64(p.Seq)
+	enc.Digest(p.Digest)
+	p.Batch.Encode(enc)
+}
+
+func decodePrePrepareBody(dec *types.Decoder) *PrePrepare {
+	p := &PrePrepare{}
+	p.View = dec.U64()
+	p.Seq = dec.U64()
+	p.Digest = dec.Digest()
+	p.Batch = types.DecodeBatch(dec)
+	return p
+}
+
+// EncodeBody implements types.WireMessage.
+func (p *Prepare) EncodeBody(enc *types.Encoder) {
+	enc.U64(p.View)
+	enc.U64(p.Seq)
+	enc.Digest(p.Digest)
+	enc.I32(int32(p.Replica))
+	enc.BytesN(p.Sig)
+}
+
+func decodePrepare(dec *types.Decoder) types.Message {
+	p := &Prepare{}
+	p.View = dec.U64()
+	p.Seq = dec.U64()
+	p.Digest = dec.Digest()
+	p.Replica = types.NodeID(dec.I32())
+	p.Sig = dec.BytesN()
+	return p
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *Commit) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.View)
+	enc.U64(c.Seq)
+	enc.Digest(c.Digest)
+	enc.I32(int32(c.Replica))
+	enc.BytesN(c.Sig)
+}
+
+func decodeCommit(dec *types.Decoder) types.Message {
+	c := &Commit{}
+	c.View = dec.U64()
+	c.Seq = dec.U64()
+	c.Digest = dec.Digest()
+	c.Replica = types.NodeID(dec.I32())
+	c.Sig = dec.BytesN()
+	return c
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *Checkpoint) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.Seq)
+	enc.Digest(c.Digest)
+	enc.I32(int32(c.Replica))
+	enc.BytesN(c.Sig)
+}
+
+func decodeCheckpointBody(dec *types.Decoder) *Checkpoint {
+	c := &Checkpoint{}
+	c.Seq = dec.U64()
+	c.Digest = dec.Digest()
+	c.Replica = types.NodeID(dec.I32())
+	c.Sig = dec.BytesN()
+	return c
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *Certificate) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.View)
+	enc.U64(c.Seq)
+	enc.Digest(c.Digest)
+	c.Batch.Encode(enc)
+	enc.NodeIDs(c.Signers)
+	enc.SigList(c.Sigs)
+}
+
+// DecodeCertificateBody reads a Certificate body written by EncodeBody. It
+// is exported because certificates travel embedded in GeoBFT GlobalShare
+// messages (package core).
+func DecodeCertificateBody(dec *types.Decoder) *Certificate {
+	c := &Certificate{}
+	c.View = dec.U64()
+	c.Seq = dec.U64()
+	c.Digest = dec.Digest()
+	c.Batch = types.DecodeBatch(dec)
+	c.Signers = dec.NodeIDs()
+	c.Sigs = dec.SigList()
+	return c
+}
+
+func encodeProof(enc *types.Encoder, p *PreparedProof) {
+	enc.U64(p.View)
+	enc.U64(p.Seq)
+	enc.Digest(p.Digest)
+	p.Batch.Encode(enc)
+	enc.NodeIDs(p.PrepareSigners)
+	enc.SigList(p.PrepareSigs)
+	enc.Bool(p.Cert != nil)
+	if p.Cert != nil {
+		p.Cert.EncodeBody(enc)
+	}
+}
+
+func decodeProof(dec *types.Decoder) *PreparedProof {
+	p := &PreparedProof{}
+	p.View = dec.U64()
+	p.Seq = dec.U64()
+	p.Digest = dec.Digest()
+	p.Batch = types.DecodeBatch(dec)
+	p.PrepareSigners = dec.NodeIDs()
+	p.PrepareSigs = dec.SigList()
+	if dec.Bool() {
+		p.Cert = DecodeCertificateBody(dec)
+	}
+	return p
+}
+
+// EncodeBody implements types.WireMessage.
+func (v *ViewChange) EncodeBody(enc *types.Encoder) {
+	enc.U64(v.NewView)
+	enc.I32(int32(v.Replica))
+	enc.U64(v.StableSeq)
+	enc.U32(uint32(len(v.StableProof)))
+	for _, c := range v.StableProof {
+		c.EncodeBody(enc)
+	}
+	enc.U32(uint32(len(v.Prepared)))
+	for _, p := range v.Prepared {
+		encodeProof(enc, p)
+	}
+	enc.BytesN(v.Sig)
+}
+
+func decodeViewChangeBody(dec *types.Decoder) *ViewChange {
+	v := &ViewChange{}
+	v.NewView = dec.U64()
+	v.Replica = types.NodeID(dec.I32())
+	v.StableSeq = dec.U64()
+	if n := dec.Count(minCheckpointBytes); n > 0 {
+		v.StableProof = make([]*Checkpoint, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			v.StableProof = append(v.StableProof, decodeCheckpointBody(dec))
+		}
+	}
+	if n := dec.Count(minProofBytes); n > 0 {
+		v.Prepared = make([]*PreparedProof, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			v.Prepared = append(v.Prepared, decodeProof(dec))
+		}
+	}
+	v.Sig = dec.BytesN()
+	return v
+}
+
+// EncodeBody implements types.WireMessage.
+func (n *NewView) EncodeBody(enc *types.Encoder) {
+	enc.U64(n.View)
+	enc.U32(uint32(len(n.ViewChanges)))
+	for _, v := range n.ViewChanges {
+		v.EncodeBody(enc)
+	}
+	enc.U32(uint32(len(n.PrePrepares)))
+	for _, p := range n.PrePrepares {
+		p.EncodeBody(enc)
+	}
+}
+
+func decodeNewView(dec *types.Decoder) types.Message {
+	m := &NewView{}
+	m.View = dec.U64()
+	if n := dec.Count(minViewChangeBytes); n > 0 {
+		m.ViewChanges = make([]*ViewChange, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.ViewChanges = append(m.ViewChanges, decodeViewChangeBody(dec))
+		}
+	}
+	if n := dec.Count(minPrePrepareBytes); n > 0 {
+		m.PrePrepares = make([]*PrePrepare, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.PrePrepares = append(m.PrePrepares, decodePrePrepareBody(dec))
+		}
+	}
+	return m
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *CatchupRequest) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.FromSeq)
+}
+
+func decodeCatchupRequest(dec *types.Decoder) types.Message {
+	return &CatchupRequest{FromSeq: dec.U64()}
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *CatchupReply) EncodeBody(enc *types.Encoder) {
+	enc.U32(uint32(len(c.Certs)))
+	for _, cert := range c.Certs {
+		cert.EncodeBody(enc)
+	}
+}
+
+func decodeCatchupReply(dec *types.Decoder) types.Message {
+	m := &CatchupReply{}
+	if n := dec.Count(minCertBytes); n > 0 {
+		m.Certs = make([]*Certificate, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.Certs = append(m.Certs, DecodeCertificateBody(dec))
+		}
+	}
+	return m
+}
+
+func sampleBatch() types.Batch {
+	return types.Batch{
+		Client: types.ClientIDBase + 3,
+		Seq:    7,
+		Txns:   []types.Transaction{{Key: 1, Value: 2}, {Key: 3, Value: 4}},
+	}
+}
+
+func sampleCert() *Certificate {
+	b := sampleBatch()
+	return &Certificate{
+		View:    1,
+		Seq:     9,
+		Digest:  b.Digest(),
+		Batch:   b,
+		Signers: []types.NodeID{0, 1, 2},
+		Sigs:    [][]byte{{0xa}, {0xb}, {0xc}},
+	}
+}
+
+func init() {
+	types.RegisterMessage((*Request)(nil).MsgType(), decodeRequest, func() []types.Message {
+		return []types.Message{
+			&Request{},
+			&Request{Batch: sampleBatch(), Forwarded: true},
+		}
+	})
+	types.RegisterMessage((*PrePrepare)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return decodePrePrepareBody(dec) },
+		func() []types.Message {
+			b := sampleBatch()
+			return []types.Message{
+				&PrePrepare{},
+				&PrePrepare{View: 2, Seq: 11, Digest: b.Digest(), Batch: b},
+			}
+		})
+	types.RegisterMessage((*Prepare)(nil).MsgType(), decodePrepare, func() []types.Message {
+		return []types.Message{
+			&Prepare{},
+			&Prepare{View: 1, Seq: 4, Digest: types.Hash([]byte("x")), Replica: 2, Sig: []byte{1, 2}},
+		}
+	})
+	types.RegisterMessage((*Commit)(nil).MsgType(), decodeCommit, func() []types.Message {
+		return []types.Message{
+			&Commit{},
+			&Commit{View: 1, Seq: 4, Digest: types.Hash([]byte("y")), Replica: 3, Sig: []byte{5}},
+		}
+	})
+	types.RegisterMessage((*Checkpoint)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return decodeCheckpointBody(dec) },
+		func() []types.Message {
+			return []types.Message{
+				&Checkpoint{},
+				&Checkpoint{Seq: 100, Digest: types.Hash([]byte("cp")), Replica: 1, Sig: []byte{9}},
+			}
+		})
+	types.RegisterMessage((*Certificate)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return DecodeCertificateBody(dec) },
+		func() []types.Message {
+			return []types.Message{&Certificate{}, sampleCert()}
+		})
+	types.RegisterMessage((*ViewChange)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return decodeViewChangeBody(dec) },
+		func() []types.Message {
+			b := sampleBatch()
+			return []types.Message{
+				&ViewChange{},
+				&ViewChange{
+					NewView:   3,
+					Replica:   1,
+					StableSeq: 50,
+					StableProof: []*Checkpoint{
+						{Seq: 50, Digest: types.Hash([]byte("s")), Replica: 0, Sig: []byte{1}},
+						{Seq: 50, Digest: types.Hash([]byte("s")), Replica: 1, Sig: []byte{2}},
+					},
+					Prepared: []*PreparedProof{
+						{
+							View:           2,
+							Seq:            51,
+							Digest:         b.Digest(),
+							Batch:          b,
+							PrepareSigners: []types.NodeID{0, 2},
+							PrepareSigs:    [][]byte{{3}, {4}},
+						},
+						{View: 2, Seq: 52, Digest: b.Digest(), Batch: b, Cert: sampleCert()},
+					},
+					Sig: []byte{7, 8},
+				},
+			}
+		})
+	types.RegisterMessage((*NewView)(nil).MsgType(), decodeNewView, func() []types.Message {
+		b := sampleBatch()
+		return []types.Message{
+			&NewView{},
+			&NewView{
+				View: 3,
+				ViewChanges: []*ViewChange{
+					{NewView: 3, Replica: 0, StableSeq: 50, Sig: []byte{1}},
+					{NewView: 3, Replica: 1, StableSeq: 50, Sig: []byte{2}},
+				},
+				PrePrepares: []*PrePrepare{
+					{View: 3, Seq: 51, Digest: b.Digest(), Batch: b},
+				},
+			},
+		}
+	})
+	types.RegisterMessage((*CatchupRequest)(nil).MsgType(), decodeCatchupRequest, func() []types.Message {
+		return []types.Message{&CatchupRequest{}, &CatchupRequest{FromSeq: 42}}
+	})
+	types.RegisterMessage((*CatchupReply)(nil).MsgType(), decodeCatchupReply, func() []types.Message {
+		return []types.Message{
+			&CatchupReply{},
+			&CatchupReply{Certs: []*Certificate{sampleCert(), sampleCert()}},
+		}
+	})
+}

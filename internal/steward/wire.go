@@ -1,0 +1,117 @@
+package steward
+
+import (
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the Steward baseline's messages, registered with the
+// message-type registry in internal/types.
+
+// EncodeBody implements types.WireMessage.
+func (r *Request) EncodeBody(enc *types.Encoder) {
+	r.Batch.Encode(enc)
+}
+
+func decodeRequest(dec *types.Decoder) types.Message {
+	return &Request{Batch: types.DecodeBatch(dec)}
+}
+
+// EncodeBody implements types.WireMessage.
+func (l *LocalAgree) EncodeBody(enc *types.Encoder) {
+	enc.U8(l.Kind)
+	enc.I32(int32(l.Site))
+	enc.U64(l.Seq)
+	enc.Digest(l.Digest)
+	l.Batch.Encode(enc)
+	enc.U64(l.GlobalV)
+}
+
+func decodeLocalAgree(dec *types.Decoder) types.Message {
+	l := &LocalAgree{}
+	l.Kind = dec.U8()
+	l.Site = types.ClusterID(dec.I32())
+	l.Seq = dec.U64()
+	l.Digest = dec.Digest()
+	l.Batch = types.DecodeBatch(dec)
+	l.GlobalV = dec.U64()
+	return l
+}
+
+// EncodeBody implements types.WireMessage.
+func (l *LocalAck) EncodeBody(enc *types.Encoder) {
+	enc.U8(l.Kind)
+	enc.I32(int32(l.Site))
+	enc.U64(l.Seq)
+	enc.Digest(l.Digest)
+	enc.I32(int32(l.Replica))
+	enc.BytesN(l.Sig)
+}
+
+func decodeLocalAck(dec *types.Decoder) types.Message {
+	l := &LocalAck{}
+	l.Kind = dec.U8()
+	l.Site = types.ClusterID(dec.I32())
+	l.Seq = dec.U64()
+	l.Digest = dec.Digest()
+	l.Replica = types.NodeID(dec.I32())
+	l.Sig = dec.BytesN()
+	return l
+}
+
+// EncodeBody implements types.WireMessage.
+func (s *SiteCert) EncodeBody(enc *types.Encoder) {
+	enc.U8(s.Kind)
+	enc.I32(int32(s.Site))
+	enc.U64(s.Seq)
+	enc.Digest(s.Digest)
+	s.Batch.Encode(enc)
+	enc.NodeIDs(s.Signers)
+	enc.SigList(s.Sigs)
+}
+
+func decodeSiteCert(dec *types.Decoder) types.Message {
+	s := &SiteCert{}
+	s.Kind = dec.U8()
+	s.Site = types.ClusterID(dec.I32())
+	s.Seq = dec.U64()
+	s.Digest = dec.Digest()
+	s.Batch = types.DecodeBatch(dec)
+	s.Signers = dec.NodeIDs()
+	s.Sigs = dec.SigList()
+	return s
+}
+
+func init() {
+	b := func() types.Batch {
+		return types.Batch{Client: types.ClientIDBase + 1, Seq: 6, Txns: []types.Transaction{{Key: 2, Value: 7}}}
+	}
+	types.RegisterMessage((*Request)(nil).MsgType(), decodeRequest, func() []types.Message {
+		return []types.Message{&Request{}, &Request{Batch: b()}}
+	})
+	types.RegisterMessage((*LocalAgree)(nil).MsgType(), decodeLocalAgree, func() []types.Message {
+		return []types.Message{
+			&LocalAgree{},
+			&LocalAgree{Kind: kindPropose, Site: 1, Seq: 3, Digest: types.Hash([]byte("a")), Batch: b(), GlobalV: 2},
+		}
+	})
+	types.RegisterMessage((*LocalAck)(nil).MsgType(), decodeLocalAck, func() []types.Message {
+		return []types.Message{
+			&LocalAck{},
+			&LocalAck{Kind: kindAccept, Site: 0, Seq: 3, Digest: types.Hash([]byte("k")), Replica: 2, Sig: []byte{1}},
+		}
+	})
+	types.RegisterMessage((*SiteCert)(nil).MsgType(), decodeSiteCert, func() []types.Message {
+		return []types.Message{
+			&SiteCert{},
+			&SiteCert{
+				Kind:    kindForward,
+				Site:    1,
+				Seq:     3,
+				Digest:  types.Hash([]byte("c")),
+				Batch:   b(),
+				Signers: []types.NodeID{4, 5, 6},
+				Sigs:    [][]byte{{1}, {2}, {3}},
+			},
+		}
+	})
+}

@@ -1,0 +1,408 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// TCP is a real network transport: one listener per process plus a
+// dial-on-demand pool of outgoing connections, carrying length-prefixed
+// frames of the canonical wire codec (types.EncodeMessage). It matches the
+// Mem transport's semantics — non-blocking sends, drop on full mailbox or
+// full send queue — so the fabric pipeline behaves identically over
+// loopback, a LAN, or a WAN. Lost connections redial with exponential
+// backoff; messages queued while a peer is unreachable are bounded by the
+// send queue and dropped beyond it, exactly like datagrams.
+//
+// A process hosts any subset of a deployment's nodes: Register declares a
+// node local, and the address book maps every other node to its process's
+// listen address.
+type TCP struct {
+	// Latency, if set, injects a one-way delay before a message is handed
+	// to a local mailbox or the outgoing queue (emulating a geo-distributed
+	// deployment over loopback). It must be set before the first Send.
+	Latency func(from, to types.NodeID) time.Duration
+	// Logf, if set, receives diagnostic messages (dropped frames, decode
+	// failures, reconnects). Optional.
+	Logf func(format string, args ...any)
+
+	addr func(types.NodeID) string
+	ln   net.Listener
+
+	mu      sync.RWMutex
+	boxes   map[types.NodeID]*mailbox
+	peers   map[string]*peerConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // accept loop, readers, peer writers
+	timers sync.WaitGroup // latency-injection timers
+}
+
+const (
+	// maxFrame bounds one wire frame; larger frames poison the connection
+	// (it is dropped and redialed).
+	maxFrame = 64 << 20
+	// sendQueueDepth bounds the per-peer outgoing queue.
+	sendQueueDepth = 4096
+	dialTimeout    = 3 * time.Second
+	writeTimeout   = 10 * time.Second
+	backoffFloor   = 50 * time.Millisecond
+	backoffCeil    = 2 * time.Second
+)
+
+// NewTCP starts a TCP transport listening on listenAddr (host:port; use
+// ":0" for an ephemeral port and Addr to read it back). addr is the address
+// book: it returns the listen address of the process hosting a node, or ""
+// for unknown nodes (sends to them are dropped).
+func NewTCP(listenAddr string, addr func(types.NodeID) string) (*TCP, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &TCP{
+		addr:    addr,
+		ln:      ln,
+		boxes:   make(map[types.NodeID]*mailbox),
+		peers:   make(map[string]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}
+
+// Register implements Transport: it declares id local to this process.
+func (t *TCP) Register(id types.NodeID) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.boxes[id]; dup {
+		panic("transport: duplicate registration")
+	}
+	box := newMailbox()
+	t.boxes[id] = box
+	return box.ch
+}
+
+// Send implements Transport. Local destinations are delivered directly;
+// remote ones are framed with the wire codec and queued on the connection
+// to their hosting process.
+func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
+	lat := time.Duration(0)
+	if t.Latency != nil {
+		lat = t.Latency(from, to)
+	}
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return
+	}
+	box := t.boxes[to]
+	if lat > 0 {
+		// Add while holding the lock that guards closed: Close sets closed
+		// under the write lock before calling timers.Wait, so the Add is
+		// always ordered before the Wait (racing them panics).
+		t.timers.Add(1)
+	}
+	t.mu.RUnlock()
+	if box != nil {
+		if lat <= 0 {
+			box.put(Envelope{From: from, Msg: msg})
+			return
+		}
+		time.AfterFunc(lat, func() {
+			defer t.timers.Done()
+			box.put(Envelope{From: from, Msg: msg})
+		})
+		return
+	}
+	dest := t.addr(to)
+	if dest == "" {
+		if lat > 0 {
+			t.timers.Done()
+		}
+		return // unknown node: drop, as Mem does
+	}
+	frame, err := encodeFrame(from, to, msg)
+	if err != nil {
+		if lat > 0 {
+			t.timers.Done()
+		}
+		t.logf("transport: dropping %s to %v: %v", msg.MsgType(), to, err)
+		return
+	}
+	if lat <= 0 {
+		if peer := t.peerFor(dest); peer != nil {
+			peer.enqueue(frame)
+		}
+		return
+	}
+	time.AfterFunc(lat, func() {
+		defer t.timers.Done()
+		// peerFor re-checks closed, so a timer firing during shutdown is a
+		// clean drop.
+		if peer := t.peerFor(dest); peer != nil {
+			peer.enqueue(frame)
+		}
+	})
+}
+
+// encodeFrame builds one wire frame: 4-byte big-endian payload length, then
+// the payload — sender, destination and the tagged message body.
+func encodeFrame(from, to types.NodeID, msg types.Message) ([]byte, error) {
+	enc := types.NewEncoder(256)
+	enc.U32(0) // length, patched below
+	enc.I32(int32(from))
+	enc.I32(int32(to))
+	if err := types.AppendMessage(enc, msg); err != nil {
+		return nil, err
+	}
+	frame := enc.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return frame, nil
+}
+
+// peerFor returns (creating on first use) the outgoing connection to a
+// remote process.
+func (t *TCP) peerFor(dest string) *peerConn {
+	t.mu.RLock()
+	p := t.peers[dest]
+	t.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if p = t.peers[dest]; p != nil {
+		return p
+	}
+	p = &peerConn{t: t, dest: dest, queue: make(chan []byte, sendQueueDepth)}
+	t.peers[dest] = p
+	t.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// Close implements Transport.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	boxes := t.boxes
+	t.boxes = map[types.NodeID]*mailbox{}
+	peers := make([]*peerConn, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	t.cancel()   // aborts in-flight dials and writer loops
+	t.ln.Close() // stops the accept loop
+	for _, c := range conns {
+		c.Close() // unblocks readers
+	}
+	for _, p := range peers {
+		p.closeConn() // unblocks a writer stuck mid-write
+	}
+	t.timers.Wait()
+	t.wg.Wait()
+	for _, box := range boxes {
+		box.close()
+	}
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per peer. It
+// only exits on Close: transient Accept errors (e.g. EMFILE) are retried,
+// since giving up would leave the process permanently deaf while peers'
+// dials still land in the kernel backlog.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			t.logf("transport: accept: %v (retrying)", err)
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop reads frames off one inbound connection and routes them to local
+// mailboxes. A malformed or oversized frame poisons the connection: it is
+// closed and the peer redials.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		conn.Close()
+		t.wg.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n < 8 || n > maxFrame {
+			t.logf("transport: poisoned frame length %d from %s", n, conn.RemoteAddr())
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		t.deliver(payload, conn)
+	}
+}
+
+// deliver decodes one frame payload and hands it to the destination's
+// mailbox. Unknown destinations and undecodable messages are dropped.
+func (t *TCP) deliver(payload []byte, conn net.Conn) {
+	dec := types.NewDecoder(payload)
+	from := types.NodeID(dec.I32())
+	to := types.NodeID(dec.I32())
+	msg, err := types.DecodeMessageFrom(dec)
+	if err != nil || dec.Remaining() != 0 {
+		t.logf("transport: dropping undecodable frame from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	t.mu.RLock()
+	box := t.boxes[to]
+	t.mu.RUnlock()
+	if box != nil {
+		box.put(Envelope{From: from, Msg: msg})
+	}
+}
+
+// peerConn is the outgoing connection to one remote process: a bounded
+// frame queue drained by a writer goroutine that dials on demand and
+// reconnects with exponential backoff.
+type peerConn struct {
+	t     *TCP
+	dest  string
+	queue chan []byte
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// enqueue queues one frame without blocking; a full queue drops it.
+func (p *peerConn) enqueue(frame []byte) {
+	select {
+	case p.queue <- frame:
+	default:
+		p.t.logf("transport: send queue to %s full, dropping frame", p.dest)
+	}
+}
+
+func (p *peerConn) setConn(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.mu.Unlock()
+}
+
+// closeConn closes the active connection (used by Close to unblock the
+// writer).
+func (p *peerConn) closeConn() {
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
+}
+
+// run dials and drains the queue until the transport closes.
+func (p *peerConn) run() {
+	defer p.t.wg.Done()
+	backoff := backoffFloor
+	dialer := net.Dialer{Timeout: dialTimeout}
+	for {
+		select {
+		case <-p.t.ctx.Done():
+			return
+		default:
+		}
+		conn, err := dialer.DialContext(p.t.ctx, "tcp", p.dest)
+		if err != nil {
+			select {
+			case <-p.t.ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > backoffCeil {
+				backoff = backoffCeil
+			}
+			continue
+		}
+		backoff = backoffFloor
+		p.setConn(conn)
+		p.writeLoop(conn)
+		p.setConn(nil)
+		conn.Close()
+	}
+}
+
+// writeLoop drains frames into conn until it fails or the transport closes.
+func (p *peerConn) writeLoop(conn net.Conn) {
+	for {
+		select {
+		case frame := <-p.queue:
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := conn.Write(frame); err != nil {
+				p.t.logf("transport: write to %s: %v (reconnecting)", p.dest, err)
+				return
+			}
+		case <-p.t.ctx.Done():
+			return
+		}
+	}
+}

@@ -1,8 +1,10 @@
-// Package transport provides the message transport used by the real-time
+// Package transport provides the message transports used by the real-time
 // ResilientDB fabric (package fabric): an in-process transport connecting
-// node mailboxes with optional injected one-way latency, so a fabric
-// deployment can emulate a geo-distributed network on one machine while
-// exercising the true multi-threaded pipeline.
+// node mailboxes with optional injected one-way latency, and a real TCP
+// transport with a length-prefixed wire format so a deployment can span
+// separate OS processes and machines. Both share UDP-like semantics: sends
+// never block, and a full mailbox or disconnected peer drops the message
+// (consensus protocols tolerate loss; timers recover).
 package transport
 
 import (
@@ -30,20 +32,59 @@ type Transport interface {
 	Close()
 }
 
+// mailboxDepth is the per-node receive buffer shared by all transports.
+const mailboxDepth = 4096
+
+// mailbox is one node's receive queue. Its own lock makes the close/send
+// race explicit: put checks the closed flag under the same lock close sets
+// it, so a racing Close can never provoke a send on a closed channel.
+type mailbox struct {
+	mu     sync.Mutex
+	ch     chan Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{ch: make(chan Envelope, mailboxDepth)}
+}
+
+// put delivers e without blocking; full or closed mailboxes drop it.
+func (b *mailbox) put(e Envelope) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	select {
+	case b.ch <- e:
+	default:
+	}
+}
+
+// close closes the receive channel exactly once.
+func (b *mailbox) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+}
+
 // Mem is an in-memory transport. Latency, if set, returns the injected
 // one-way delay between two nodes (for example from the Table 1 profile).
 type Mem struct {
 	Latency func(from, to types.NodeID) time.Duration
 
 	mu     sync.RWMutex
-	boxes  map[types.NodeID]chan Envelope
+	boxes  map[types.NodeID]*mailbox
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// NewMem returns an in-memory transport with the given per-mailbox buffer.
+// NewMem returns an in-memory transport.
 func NewMem() *Mem {
-	return &Mem{boxes: make(map[types.NodeID]chan Envelope)}
+	return &Mem{boxes: make(map[types.NodeID]*mailbox)}
 }
 
 // Register implements Transport.
@@ -53,46 +94,39 @@ func (m *Mem) Register(id types.NodeID) <-chan Envelope {
 	if _, dup := m.boxes[id]; dup {
 		panic("transport: duplicate registration")
 	}
-	ch := make(chan Envelope, 4096)
-	m.boxes[id] = ch
-	return ch
+	box := newMailbox()
+	m.boxes[id] = box
+	return box.ch
 }
 
 // Send implements Transport. When the destination mailbox is full the
-// message is dropped (consensus protocols tolerate loss; timers recover),
-// which keeps the pipeline non-blocking like a UDP-style transport.
+// message is dropped, which keeps the pipeline non-blocking like a
+// UDP-style transport.
 func (m *Mem) Send(from, to types.NodeID, msg types.Message) {
-	m.mu.RLock()
-	box := m.boxes[to]
-	closed := m.closed
 	lat := time.Duration(0)
 	if m.Latency != nil {
 		lat = m.Latency(from, to)
 	}
+	m.mu.RLock()
+	box := m.boxes[to]
+	if box == nil || m.closed {
+		m.mu.RUnlock()
+		return
+	}
+	if lat > 0 {
+		// Add while holding the lock that guards closed: Close sets closed
+		// under the write lock before calling wg.Wait, so the Add is always
+		// ordered before the Wait (racing them panics).
+		m.wg.Add(1)
+	}
 	m.mu.RUnlock()
-	if box == nil || closed {
-		return
-	}
-	deliver := func() {
-		defer func() { recover() }() // racing Close is a dropped message
-		select {
-		case box <- Envelope{From: from, Msg: msg}:
-		default:
-		}
-	}
 	if lat <= 0 {
-		deliver()
+		box.put(Envelope{From: from, Msg: msg})
 		return
 	}
-	m.wg.Add(1)
 	time.AfterFunc(lat, func() {
 		defer m.wg.Done()
-		m.mu.RLock()
-		stillOpen := !m.closed
-		m.mu.RUnlock()
-		if stillOpen {
-			deliver()
-		}
+		box.put(Envelope{From: from, Msg: msg})
 	})
 }
 
@@ -105,10 +139,10 @@ func (m *Mem) Close() {
 	}
 	m.closed = true
 	boxes := m.boxes
-	m.boxes = map[types.NodeID]chan Envelope{}
+	m.boxes = map[types.NodeID]*mailbox{}
 	m.mu.Unlock()
 	m.wg.Wait()
-	for _, ch := range boxes {
-		close(ch)
+	for _, box := range boxes {
+		box.close()
 	}
 }

@@ -155,3 +155,67 @@ func (d *Decoder) BytesN() []byte {
 
 // String reads a length-prefixed string.
 func (d *Decoder) String() string { return string(d.BytesN()) }
+
+// Count reads a u32 element count and validates it against the remaining
+// input given a lower bound on the encoded size of one element, so malformed
+// counts can never drive huge allocations. On a bad count it records an
+// error and returns 0.
+func (d *Decoder) Count(minElemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n < 0 || n > d.Remaining()/minElemSize {
+		d.err = ErrCodec
+		return 0
+	}
+	return n
+}
+
+// NodeIDs appends a length-prefixed list of node identifiers.
+func (e *Encoder) NodeIDs(ids []NodeID) {
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.I32(int32(id))
+	}
+}
+
+// NodeIDs reads a length-prefixed list of node identifiers.
+func (d *Decoder) NodeIDs() []NodeID {
+	n := d.Count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(d.I32())
+	}
+	return out
+}
+
+// SigList appends a length-prefixed list of byte strings (signature sets).
+func (e *Encoder) SigList(sigs [][]byte) {
+	e.U32(uint32(len(sigs)))
+	for _, s := range sigs {
+		e.BytesN(s)
+	}
+}
+
+// SigList reads a length-prefixed list of byte strings.
+func (d *Decoder) SigList() [][]byte {
+	n := d.Count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = d.BytesN()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WireMessage is a Message with a canonical wire body. Any message that must
+// cross a real network (package transport's TCP transport) implements it;
+// EncodeBody appends the message body — everything except the type tag — to
+// enc using the deterministic Encoder primitives.
+type WireMessage interface {
+	Message
+	EncodeBody(enc *Encoder)
+}
+
+// wireEntry is one registered message type.
+type wireEntry struct {
+	// decode reads the body written by EncodeBody. It must never panic on
+	// malformed input: allocation counts are bounded by Decoder.Remaining and
+	// errors surface through Decoder.Err.
+	decode func(dec *Decoder) Message
+	// samples returns representative instances (including zero-ish and
+	// fully-populated ones) used by the registry-driven round-trip tests.
+	samples func() []Message
+}
+
+// wireRegistry maps a message's MsgType tag to its codec. It is populated by
+// package init functions and read-only afterwards, so no locking is needed.
+var wireRegistry = map[string]wireEntry{}
+
+// RegisterMessage registers the wire codec for one message type under its
+// MsgType tag. decode reads the body written by the type's EncodeBody;
+// samples returns test instances for the registry-driven round-trip suite.
+// Registration happens in package init functions; registering the same tag
+// twice panics.
+func RegisterMessage(tag string, decode func(dec *Decoder) Message, samples func() []Message) {
+	if decode == nil || samples == nil {
+		panic("types: RegisterMessage requires decode and samples for " + tag)
+	}
+	if _, dup := wireRegistry[tag]; dup {
+		panic("types: duplicate message registration: " + tag)
+	}
+	wireRegistry[tag] = wireEntry{decode: decode, samples: samples}
+}
+
+// RegisteredTags returns the tags of every registered message type, sorted.
+func RegisteredTags() []string {
+	out := make([]string, 0, len(wireRegistry))
+	for tag := range wireRegistry {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SampleMessages returns the registered test samples for tag (nil if
+// unregistered).
+func SampleMessages(tag string) []Message {
+	if e, ok := wireRegistry[tag]; ok {
+		return e.samples()
+	}
+	return nil
+}
+
+// AppendMessage appends the framed form of m — a length-prefixed type tag
+// followed by the body — to enc. It fails if m's type is not registered or
+// does not implement WireMessage.
+func AppendMessage(enc *Encoder, m Message) error {
+	wm, ok := m.(WireMessage)
+	if !ok {
+		return fmt.Errorf("types: %s does not implement WireMessage", m.MsgType())
+	}
+	tag := m.MsgType()
+	if _, ok := wireRegistry[tag]; !ok {
+		return fmt.Errorf("types: message type %q not registered", tag)
+	}
+	enc.String(tag)
+	wm.EncodeBody(enc)
+	return nil
+}
+
+// EncodeMessage returns the canonical wire encoding of m: its type tag
+// followed by the body written by EncodeBody. (WireSize is deliberately not
+// consulted for the capacity hint: it is a *model* of the paper's message
+// sizes, not the serialized length, and some implementations dereference
+// optional fields.)
+func EncodeMessage(m Message) ([]byte, error) {
+	enc := NewEncoder(256)
+	if err := AppendMessage(enc, m); err != nil {
+		return nil, err
+	}
+	return enc.Bytes(), nil
+}
+
+// DecodeMessage decodes one message previously encoded with EncodeMessage.
+// The whole buffer must be consumed; trailing bytes, unknown tags and
+// malformed bodies are errors, never panics.
+func DecodeMessage(buf []byte) (Message, error) {
+	dec := NewDecoder(buf)
+	m, err := DecodeMessageFrom(dec)
+	if err != nil {
+		return nil, err
+	}
+	if dec.Remaining() != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after %s", dec.Remaining(), m.MsgType())
+	}
+	return m, nil
+}
+
+// DecodeMessageFrom decodes one tagged message from dec, leaving any
+// following bytes unread (for streams carrying several messages per frame).
+func DecodeMessageFrom(dec *Decoder) (Message, error) {
+	tag := dec.String()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	entry, ok := wireRegistry[tag]
+	if !ok {
+		return nil, fmt.Errorf("types: unknown message type %q", tag)
+	}
+	m := entry.decode(dec)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("types: decoding %q: %w", tag, err)
+	}
+	return m, nil
+}

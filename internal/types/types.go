@@ -121,8 +121,7 @@ func DecodeBatch(dec *Decoder) Batch {
 	b.Client = NodeID(dec.I32())
 	b.Seq = dec.U64()
 	b.NoOp = dec.Bool()
-	n := int(dec.U32())
-	if dec.Err() == nil && n >= 0 && n <= dec.Remaining()/16 {
+	if n := dec.Count(16); n > 0 {
 		b.Txns = make([]Transaction, n)
 		for i := range b.Txns {
 			b.Txns[i].Key = dec.U64()

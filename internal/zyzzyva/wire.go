@@ -1,0 +1,142 @@
+package zyzzyva
+
+import (
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the Zyzzyva baseline's messages, registered with the
+// message-type registry in internal/types.
+
+// EncodeBody implements types.WireMessage.
+func (r *Request) EncodeBody(enc *types.Encoder) {
+	r.Batch.Encode(enc)
+}
+
+func decodeRequest(dec *types.Decoder) types.Message {
+	return &Request{Batch: types.DecodeBatch(dec)}
+}
+
+// EncodeBody implements types.WireMessage.
+func (o *OrderReq) EncodeBody(enc *types.Encoder) {
+	enc.U64(o.Seq)
+	enc.Digest(o.History)
+	o.Batch.Encode(enc)
+}
+
+func decodeOrderReq(dec *types.Decoder) types.Message {
+	o := &OrderReq{}
+	o.Seq = dec.U64()
+	o.History = dec.Digest()
+	o.Batch = types.DecodeBatch(dec)
+	return o
+}
+
+// EncodeBody implements types.WireMessage.
+func (s *SpecResponse) EncodeBody(enc *types.Encoder) {
+	enc.U64(s.Seq)
+	enc.Digest(s.History)
+	enc.Digest(s.Result)
+	enc.I32(int32(s.Replica))
+	enc.I32(int32(s.Client))
+	enc.U64(s.ClientSeq)
+	enc.U32(uint32(s.TxnCount))
+	enc.BytesN(s.Sig)
+}
+
+func decodeSpecResponse(dec *types.Decoder) types.Message {
+	s := &SpecResponse{}
+	s.Seq = dec.U64()
+	s.History = dec.Digest()
+	s.Result = dec.Digest()
+	s.Replica = types.NodeID(dec.I32())
+	s.Client = types.NodeID(dec.I32())
+	s.ClientSeq = dec.U64()
+	s.TxnCount = int(dec.U32())
+	s.Sig = dec.BytesN()
+	return s
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *CommitCert) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.Seq)
+	enc.Digest(c.History)
+	enc.Digest(c.Result)
+	enc.I32(int32(c.Client))
+	enc.NodeIDs(c.Signers)
+	enc.SigList(c.Sigs)
+}
+
+func decodeCommitCert(dec *types.Decoder) types.Message {
+	c := &CommitCert{}
+	c.Seq = dec.U64()
+	c.History = dec.Digest()
+	c.Result = dec.Digest()
+	c.Client = types.NodeID(dec.I32())
+	c.Signers = dec.NodeIDs()
+	c.Sigs = dec.SigList()
+	return c
+}
+
+// EncodeBody implements types.WireMessage.
+func (l *LocalCommit) EncodeBody(enc *types.Encoder) {
+	enc.U64(l.Seq)
+	enc.I32(int32(l.Replica))
+	enc.I32(int32(l.Client))
+}
+
+func decodeLocalCommit(dec *types.Decoder) types.Message {
+	l := &LocalCommit{}
+	l.Seq = dec.U64()
+	l.Replica = types.NodeID(dec.I32())
+	l.Client = types.NodeID(dec.I32())
+	return l
+}
+
+func init() {
+	b := func() types.Batch {
+		return types.Batch{Client: types.ClientIDBase, Seq: 2, Txns: []types.Transaction{{Key: 1, Value: 9}}}
+	}
+	types.RegisterMessage((*Request)(nil).MsgType(), decodeRequest, func() []types.Message {
+		return []types.Message{&Request{}, &Request{Batch: b()}}
+	})
+	types.RegisterMessage((*OrderReq)(nil).MsgType(), decodeOrderReq, func() []types.Message {
+		return []types.Message{
+			&OrderReq{},
+			&OrderReq{Seq: 3, History: types.Hash([]byte("h")), Batch: b()},
+		}
+	})
+	types.RegisterMessage((*SpecResponse)(nil).MsgType(), decodeSpecResponse, func() []types.Message {
+		return []types.Message{
+			&SpecResponse{},
+			&SpecResponse{
+				Seq:       3,
+				History:   types.Hash([]byte("h")),
+				Result:    types.Hash([]byte("r")),
+				Replica:   1,
+				Client:    types.ClientIDBase,
+				ClientSeq: 2,
+				TxnCount:  1,
+				Sig:       []byte{1, 2, 3},
+			},
+		}
+	})
+	types.RegisterMessage((*CommitCert)(nil).MsgType(), decodeCommitCert, func() []types.Message {
+		return []types.Message{
+			&CommitCert{},
+			&CommitCert{
+				Seq:     3,
+				History: types.Hash([]byte("h")),
+				Result:  types.Hash([]byte("r")),
+				Client:  types.ClientIDBase,
+				Signers: []types.NodeID{0, 1, 2},
+				Sigs:    [][]byte{{1}, {2}, {3}},
+			},
+		}
+	})
+	types.RegisterMessage((*LocalCommit)(nil).MsgType(), decodeLocalCommit, func() []types.Message {
+		return []types.Message{
+			&LocalCommit{},
+			&LocalCommit{Seq: 3, Replica: 2, Client: types.ClientIDBase},
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"resilientdb/internal/core"
 	"resilientdb/internal/fabric"
 	"resilientdb/internal/ledger"
+	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
 
@@ -56,12 +57,38 @@ type Options struct {
 	// and 3 s; lower them in tests that inject crashes).
 	LocalTimeout  time.Duration
 	RemoteTimeout time.Duration
+	// Net, if non-nil, runs this process as one member of a multi-process
+	// TCP deployment instead of a self-contained in-process fabric.
+	Net *NetOptions
 }
 
-// DB is a running ResilientDB deployment.
+// NetOptions describes one process's place in a multi-process deployment:
+// every process runs the same topology with the same address book but hosts
+// only its own replicas (and clients). Messages travel as length-prefixed
+// wire-codec frames over TCP (see internal/transport).
+type NetOptions struct {
+	// Listen is this process's TCP listen address ("host:port"; ":0" picks
+	// an ephemeral port readable via DB.ListenAddr).
+	Listen string
+	// Replicas is the address book for the z×n replicas: Replicas[i] is the
+	// listen address of the process hosting global replica i (cluster*n +
+	// local index). Must have exactly z×n entries.
+	Replicas []string
+	// Clients maps client index to the listen address of the process
+	// hosting that client, so replicas can route replies. A process that
+	// calls DB.Client(i) must list its own address at Clients[i].
+	Clients []string
+	// LocalReplicas are the global replica indices hosted by this process.
+	// Empty means this process hosts no replicas (a pure client process).
+	LocalReplicas []int
+}
+
+// DB is a running ResilientDB deployment (or, with Options.Net, one
+// process's slice of one).
 type DB struct {
 	fab  *fabric.Fabric
 	topo config.Topology
+	tcp  *transport.TCP
 }
 
 // Open starts a fabric deployment and returns a handle to it.
@@ -83,14 +110,62 @@ func Open(o Options) (*DB, error) {
 		LocalTimeout:  o.LocalTimeout,
 		RemoteTimeout: o.RemoteTimeout,
 	}
+	var latency func(from, to types.NodeID) time.Duration
 	if o.EmulateWAN {
 		prof := config.GoogleCloudProfile(o.Clusters)
-		cfg.Latency = func(from, to types.NodeID) time.Duration {
+		latency = func(from, to types.NodeID) time.Duration {
 			ra, rb := regionOf(topo, from, o.Clusters), regionOf(topo, to, o.Clusters)
 			return prof.OneWay(ra, rb)
 		}
 	}
-	return &DB{fab: fabric.New(cfg), topo: topo}, nil
+	db := &DB{topo: topo}
+	if o.Net != nil {
+		if len(o.Net.Replicas) != topo.TotalReplicas() {
+			return nil, fmt.Errorf("resilientdb: address book has %d replica addresses, topology needs %d",
+				len(o.Net.Replicas), topo.TotalReplicas())
+		}
+		net := *o.Net
+		book := func(id types.NodeID) string {
+			if id.IsClient() {
+				if i := int(id - types.ClientIDBase); i < len(net.Clients) {
+					return net.Clients[i]
+				}
+				return ""
+			}
+			if i := int(id); i >= 0 && i < len(net.Replicas) {
+				return net.Replicas[i]
+			}
+			return ""
+		}
+		tcp, err := transport.NewTCP(net.Listen, book)
+		if err != nil {
+			return nil, err
+		}
+		tcp.Latency = latency
+		cfg.Transport = tcp
+		cfg.Local = []types.NodeID{} // default: pure client process
+		for _, i := range net.LocalReplicas {
+			if i < 0 || i >= topo.TotalReplicas() {
+				tcp.Close()
+				return nil, fmt.Errorf("resilientdb: local replica index %d out of range [0,%d)", i, topo.TotalReplicas())
+			}
+			cfg.Local = append(cfg.Local, types.NodeID(i))
+		}
+		db.tcp = tcp
+	} else {
+		cfg.Latency = latency
+	}
+	db.fab = fabric.New(cfg)
+	return db, nil
+}
+
+// ListenAddr returns this process's bound TCP address in a multi-process
+// deployment ("" for in-process deployments). Useful with Net.Listen ":0".
+func (db *DB) ListenAddr() string {
+	if db.tcp != nil {
+		return db.tcp.Addr()
+	}
+	return ""
 }
 
 func regionOf(topo config.Topology, id types.NodeID, z int) int {
@@ -105,13 +180,18 @@ func (db *DB) Client(i int) *Client {
 	return &Client{inner: db.fab.NewClient(i)}
 }
 
-// ReplicaLedger returns the ledger of one replica. Read it after Close, or
-// accept racing the replica's executor.
+// ReplicaLedger returns the ledger of one replica, or nil if that replica
+// is not hosted by this process. Read it after Close, or accept racing the
+// replica's executor.
 func (db *DB) ReplicaLedger(cluster, replica int) *Ledger {
-	return db.fab.Replica(db.topo.ReplicaID(cluster, replica)).Ledger()
+	if r := db.fab.Replica(db.topo.ReplicaID(cluster, replica)); r != nil {
+		return r.Ledger()
+	}
+	return nil
 }
 
-// Replica exposes a replica's consensus state machine (tests, tooling).
+// Replica exposes a replica's consensus state machine (tests, tooling), or
+// nil if that replica is not hosted by this process.
 func (db *DB) Replica(cluster, replica int) *core.Replica {
 	return db.fab.Replica(db.topo.ReplicaID(cluster, replica))
 }
