@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz
+.PHONY: check build test race vet fmt fuzz bench
 
 check: vet race
 
@@ -24,3 +24,9 @@ fmt:
 # Short fuzz pass over the wire codec (decode must never panic).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/types/
+
+# Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
+# serial vs verify pool) plus codec micro-benchmarks; writes BENCH_PR2.json
+# with txn/s, allocs/op and drop counts. See README "Performance".
+bench:
+	$(GO) run ./cmd/fabricbench -out BENCH_PR2.json

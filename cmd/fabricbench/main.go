@@ -1,0 +1,122 @@
+// Command fabricbench runs the PR-2 performance suite — the fabric
+// macro-benchmark (committed-txn throughput with Real cryptography, over the
+// Mem and TCP-loopback transports, serial baseline vs parallel verify pool)
+// and the wire-codec micro-benchmarks — and writes the results as JSON so
+// the repository's performance trajectory has committed data points.
+//
+// Usage:
+//
+//	go run ./cmd/fabricbench -out BENCH_PR2.json -duration 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"resilientdb/internal/fabricbench"
+)
+
+type codecResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type speedup struct {
+	Case    string  `json:"case"`
+	Serial  float64 `json:"serial_txn_per_sec"`
+	Pooled  float64 `json:"pooled_txn_per_sec"`
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Generated string `json:"generated"`
+	Host      struct {
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Note     string               `json:"note"`
+	Fabric   []fabricbench.Result `json:"fabric"`
+	Speedups []speedup            `json:"speedups"`
+	Codec    []codecResult        `json:"codec"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	duration := flag.Duration("duration", 20*time.Second, "measured window per scenario")
+	warmup := flag.Duration("warmup", 5*time.Second, "warmup per scenario")
+	flag.Parse()
+
+	var rep report
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Host.GoVersion = runtime.Version()
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.NumCPU = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Note = "Committed-txn throughput observed at a backup replica, Real crypto. " +
+		"The verify pool moves all cryptographic checks off the consensus thread; " +
+		"its speedup is bounded by spare cores. On a single-core host (GOMAXPROCS=1) " +
+		"the pool cannot parallelize: small/fast shapes pay its queueing overhead, " +
+		"larger and TCP shapes still gain from shortening the execution critical " +
+		"path, and the >=2x target applies to multi-core hosts with cores to spare " +
+		"beyond one worker thread per hosted replica. Execution unblocks in " +
+		"pipeline-depth bursts, so individual scenario numbers vary ~20% run to run."
+
+	for _, sc := range fabricbench.StandardScenarios(*warmup, *duration) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", sc.Name())
+		res := fabricbench.Run(sc)
+		fmt.Fprintf(os.Stderr, "  %-18s %9.0f txn/s  (%d committed, drops: %d)\n",
+			res.Name, res.TxnPerSec, res.CommittedTxns, res.Drops.Total())
+		rep.Fabric = append(rep.Fabric, res)
+	}
+
+	// Pair serial/pooled runs of the same deployment shape.
+	serial := map[string]fabricbench.Result{}
+	for _, r := range rep.Fabric {
+		if r.VerifyWorkers < 0 {
+			serial[fmt.Sprintf("%s/z%dn%d", r.Transport, r.Clusters, r.PerCluster)] = r
+		}
+	}
+	for _, r := range rep.Fabric {
+		if r.VerifyWorkers >= 0 {
+			key := fmt.Sprintf("%s/z%dn%d", r.Transport, r.Clusters, r.PerCluster)
+			if base, ok := serial[key]; ok && base.TxnPerSec > 0 {
+				rep.Speedups = append(rep.Speedups, speedup{
+					Case: key, Serial: base.TxnPerSec, Pooled: r.TxnPerSec,
+					Speedup: r.TxnPerSec / base.TxnPerSec,
+				})
+			}
+		}
+	}
+
+	for _, c := range fabricbench.CodecCases() {
+		fmt.Fprintf(os.Stderr, "codec %s...\n", c.Name)
+		r := testing.Benchmark(c.Fn)
+		rep.Codec = append(rep.Codec, codecResult{
+			Name: c.Name, NsPerOp: float64(r.NsPerOp()),
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

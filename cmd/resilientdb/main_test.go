@@ -158,8 +158,11 @@ func TestMultiProcessCluster(t *testing.T) {
 	}
 
 	// Let stragglers finish executing the final rounds, then stop every
-	// replica and collect its verified ledger head.
-	time.Sleep(3 * time.Second)
+	// replica and collect its verified ledger head. The window must cover a
+	// full remote-timeout recovery cycle: a replica that missed its shares
+	// only re-requests them after the 1s remote timeout, and on a slow or
+	// race-instrumented host that round trip can take several seconds.
+	time.Sleep(5 * time.Second)
 	for _, p := range replicas {
 		p.cmd.Process.Signal(syscall.SIGTERM)
 	}

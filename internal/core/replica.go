@@ -110,9 +110,12 @@ type Replica struct {
 	store  *kvstore.Store
 	ledger *ledger.Ledger
 
-	rounds        map[uint64]*round
-	executed      map[uint64]*round // retained window for lagging peers
-	executedRound uint64
+	rounds   map[uint64]*round
+	executed map[uint64]*round // retained window for lagging peers
+	// executedRound is the last fully executed global round. Atomic: the
+	// worker goroutine is the only writer, but monitoring code reads it while
+	// the fabric is running (like execTxns).
+	executedRound atomic.Uint64
 	localUpTo     uint64 // local PBFT rounds committed (own cluster)
 
 	// primary-side state
@@ -187,8 +190,21 @@ func (r *Replica) InitEnv(env proto.Env) {
 }
 
 // Receive implements simnet.Handler: it dispatches global GeoBFT messages
-// and hands everything else to the local PBFT instance.
+// and hands everything else to the local PBFT instance. All cryptographic
+// checks run inline.
 func (r *Replica) Receive(from types.NodeID, msg types.Message) {
+	r.receive(from, msg, false)
+}
+
+// ReceiveVerified dispatches a message whose state-independent cryptographic
+// checks already passed PreVerify (the fabric's verify pool): the apply path
+// skips re-verification but keeps every stateful guard, so every protocol
+// decision is identical to Receive's.
+func (r *Replica) ReceiveVerified(from types.NodeID, msg types.Message) {
+	r.receive(from, msg, true)
+}
+
+func (r *Replica) receive(from types.NodeID, msg types.Message, pre bool) {
 	switch m := msg.(type) {
 	case *pbft.Request:
 		if from.IsClient() {
@@ -198,14 +214,18 @@ func (r *Replica) Receive(from types.NodeID, msg types.Message) {
 		r.local.HandleMessage(from, msg)
 	case *GlobalShare:
 		r.env.Suite().ChargeVerifyMAC()
-		r.onGlobalShare(from, m)
+		r.onGlobalShare(from, m, pre)
 	case *DRvc:
 		r.env.Suite().ChargeVerifyMAC()
 		r.onDRvc(from, m)
 	case *Rvc:
-		r.onRvc(from, m)
+		r.onRvc(from, m, pre)
 	default:
-		r.local.HandleMessage(from, msg)
+		if pre {
+			r.local.HandleVerified(from, msg)
+		} else {
+			r.local.HandleMessage(from, msg)
+		}
 	}
 }
 
@@ -224,8 +244,9 @@ func (r *Replica) Store() *kvstore.Store { return r.store }
 // Local exposes the local PBFT instance (tests, fault injection).
 func (r *Replica) Local() *pbft.Replica { return r.local }
 
-// ExecutedRound returns the last fully executed global round.
-func (r *Replica) ExecutedRound() uint64 { return r.executedRound }
+// ExecutedRound returns the last fully executed global round. It is safe to
+// call while the replica is running.
+func (r *Replica) ExecutedRound() uint64 { return r.executedRound.Load() }
 
 // ExecutedTxns returns the number of transactions executed. It is safe to
 // call while the replica is running.
@@ -268,7 +289,7 @@ func (r *Replica) feedPrimary() {
 	if r.cfg.PipelineDepth < 0 {
 		depth = 1
 	}
-	for len(r.pending) > 0 && r.assignedRounds() < r.executedRound+depth {
+	for len(r.pending) > 0 && r.assignedRounds() < r.executedRound.Load()+depth {
 		b := r.pending[0]
 		r.pending = r.pending[1:]
 		r.local.SubmitLocal(b, true)
@@ -329,23 +350,29 @@ func (r *Replica) shareRound(seq uint64, cert *pbft.Certificate) {
 
 // --- global sharing, receive side -------------------------------------------
 
-func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare) {
+// onGlobalShare applies a forwarded certificate. pre marks shares whose
+// certificate already passed PreVerify.
+func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare, pre bool) {
 	c := int(m.Cluster)
 	if c < 0 || c >= r.cfg.Topo.Clusters || c == r.myCluster {
 		return
 	}
-	if m.Round <= r.executedRound {
+	if m.Round <= r.executedRound.Load() {
 		return // stale: already executed
 	}
 	if rd := r.rounds[m.Round]; rd != nil && rd.certs[c] != nil {
 		return // duplicate
 	}
+	if m.Cert == nil || m.Cert.Seq != m.Round {
+		return
+	}
 	// Verify the forwarded certificate against the origin cluster's
 	// membership: n−f valid commit signatures (Proposition 2.5, Agreement).
-	members := r.cfg.Topo.ClusterMembers(c)
-	if m.Cert == nil || m.Cert.Seq != m.Round ||
-		!m.Cert.Verify(r.env.Suite(), members, r.quorum()) {
-		return
+	if !pre {
+		members := r.cfg.Topo.ClusterMembers(c)
+		if !m.Cert.Verify(r.env.Suite(), members, r.quorum()) {
+			return
+		}
 	}
 	r.setCert(m.Cluster, m.Round, m.Cert)
 
@@ -370,7 +397,7 @@ func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare) {
 }
 
 func (r *Replica) setCert(cluster types.ClusterID, rnd uint64, cert *pbft.Certificate) {
-	if rnd <= r.executedRound {
+	if rnd <= r.executedRound.Load() {
 		return
 	}
 	rd := r.rounds[rnd]
@@ -390,25 +417,26 @@ func (r *Replica) setCert(cluster types.ClusterID, rnd uint64, cert *pbft.Certif
 
 func (r *Replica) tryExecute() {
 	for {
-		rd := r.rounds[r.executedRound+1]
+		next := r.executedRound.Load() + 1
+		rd := r.rounds[next]
 		if rd == nil || rd.have < r.cfg.Topo.Clusters {
 			return
 		}
-		r.executedRound++
-		delete(r.rounds, r.executedRound)
+		r.executedRound.Store(next)
+		delete(r.rounds, next)
 		// Retain a window of executed rounds so a lagging local replica can
 		// still obtain remote certificates it missed.
 		const retainRounds = 256
-		r.executed[r.executedRound] = rd
-		delete(r.executed, r.executedRound-retainRounds)
+		r.executed[next] = rd
+		delete(r.executed, next-retainRounds)
 		for c := 0; c < r.cfg.Topo.Clusters; c++ {
 			cert := rd.certs[c]
 			batch := cert.Batch
 			r.env.Suite().ChargeExec(batch.Len())
 			r.store.ApplyBatch(&batch)
-			r.ledger.Append(r.executedRound, types.ClusterID(c), batch, cert.CertDigest())
+			r.ledger.Append(next, types.ClusterID(c), batch, cert.CertDigest())
 			if r.cfg.OnExecute != nil {
-				r.cfg.OnExecute(r.executedRound, types.ClusterID(c), batch)
+				r.cfg.OnExecute(next, types.ClusterID(c), batch)
 			}
 			if batch.NoOp {
 				continue
@@ -427,7 +455,7 @@ func (r *Replica) tryExecute() {
 				})
 			}
 		}
-		r.gcRemoteState(r.executedRound)
+		r.gcRemoteState(next)
 		r.feedPrimary()
 		r.rearmDetection()
 	}
@@ -468,7 +496,7 @@ func (r *Replica) gcRemoteState(upTo uint64) {
 // is evidence the round exists, a timer runs (Section 2.3: "every replica
 // sets a timer for C1 at the start of round ρ").
 func (r *Replica) rearmDetection() {
-	blocking := r.executedRound + 1
+	blocking := r.executedRound.Load() + 1
 	rd := r.rounds[blocking]
 	evidence := r.localUpTo >= blocking || (rd != nil && rd.have > 0)
 	for c := 0; c < r.cfg.Topo.Clusters; c++ {
@@ -499,7 +527,7 @@ func (r *Replica) armDetTimer(c int, rnd uint64) {
 	r.detRound[c] = rnd
 	r.detTimers[c] = r.env.SetTimer(d, func() {
 		r.detTimers[c] = nil
-		if r.executedRound+1 != rnd {
+		if r.executedRound.Load()+1 != rnd {
 			r.rearmDetection()
 			return
 		}
@@ -551,7 +579,7 @@ func (r *Replica) onDRvc(from types.NodeID, m *DRvc) {
 		r.env.Send(from, &GlobalShare{Cluster: m.Target, Round: m.Round, Cert: rd.certs[m.Target]})
 		return
 	}
-	if m.Round <= r.executedRound {
+	if m.Round <= r.executedRound.Load() {
 		return // executed but no longer retained; nothing useful to add
 	}
 	k := drvcKey{target: m.Target, round: m.Round, v: m.V}
@@ -613,11 +641,13 @@ func (r *Replica) detectFailureAt(k drvcKey) {
 
 // --- remote view-change, response role (Figure 7 lines 14–17) ---------------
 
-func (r *Replica) onRvc(from types.NodeID, m *Rvc) {
+// onRvc applies a remote view-change request. pre marks requests whose
+// signature already passed PreVerify.
+func (r *Replica) onRvc(from types.NodeID, m *Rvc, pre bool) {
 	if int(m.Target) != r.myCluster || m.Replica != from && int(r.cfg.Topo.ClusterOf(from)) != r.myCluster {
 		return
 	}
-	if !r.env.Suite().Verify(m.Replica, rvcPayload(m), m.Sig) {
+	if !pre && !r.env.Suite().Verify(m.Replica, rvcPayload(m), m.Sig) {
 		return
 	}
 	if int(r.cfg.Topo.ClusterOf(m.Replica)) != int(m.From) || int(m.From) == r.myCluster {
@@ -682,7 +712,7 @@ func (r *Replica) onLocalViewChange(view uint64, primary types.NodeID) {
 	if primary != r.cfg.Self {
 		return
 	}
-	from := r.executedRound + 1
+	from := r.executedRound.Load() + 1
 	if r.reshareFloor > 0 && r.reshareFloor < from {
 		from = r.reshareFloor
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/types"
+)
+
+// PreVerify performs the state-independent cryptographic checks of an
+// inbound GeoBFT message: GlobalShare certificate verification (n−f ed25519
+// signatures against the origin cluster's membership — the most expensive
+// check in the system), Rvc signatures, and, via pbft.PreVerify, the local
+// PBFT checks. It reads only construction-time immutable state (topology,
+// membership, quorum size), never the replica's mutable protocol state, so
+// the fabric's verify pool calls it concurrently with the worker from many
+// goroutines.
+//
+// Verdicts are decision-equivalent to the inline path: a rejected message is
+// one Receive would unconditionally discard, and a verified message may skip
+// exactly the checks performed here (ReceiveVerified) while every stateful
+// guard — staleness, duplication, membership routing — still runs on the
+// worker. Client batch MACs are modelled as cost only (ChargeVerify), so
+// requests pass through unchecked.
+func (r *Replica) PreVerify(suite *crypto.Suite, from types.NodeID, msg types.Message) proto.Verdict {
+	switch m := msg.(type) {
+	case *pbft.Request:
+		return proto.VerdictPass
+	case *GlobalShare:
+		c := int(m.Cluster)
+		if c < 0 || c >= r.cfg.Topo.Clusters || c == r.myCluster {
+			return proto.VerdictReject
+		}
+		if m.Cert == nil || m.Cert.Seq != m.Round {
+			return proto.VerdictReject
+		}
+		if !m.Cert.Verify(suite, r.cfg.Topo.ClusterMembers(c), r.quorum()) {
+			return proto.VerdictReject
+		}
+		return proto.VerdictVerified
+	case *DRvc:
+		return proto.VerdictPass // MAC-authenticated only (modelled as cost)
+	case *Rvc:
+		// Routing guards first (immutable topology, same predicates onRvc
+		// applies): they discard mis-routed requests for free, so a flood of
+		// bogus Rvcs cannot make the pool pay a signature check each.
+		if int(m.Target) != r.myCluster || int(m.From) == r.myCluster ||
+			int(r.cfg.Topo.ClusterOf(m.Replica)) != int(m.From) {
+			return proto.VerdictReject
+		}
+		if !suite.Verify(m.Replica, rvcPayload(m), m.Sig) {
+			return proto.VerdictReject
+		}
+		return proto.VerdictVerified
+	default:
+		return pbft.PreVerify(suite, from, msg)
+	}
+}
+
+// ShareKey returns a deduplication key for a GlobalShare's verification
+// outcome: two shares with equal keys are cryptographically identical (same
+// origin cluster, same certificate content including signer set, same batch
+// bytes), so a verdict for one is valid for the other. The fabric's verify
+// stage uses it to verify each certificate once even though the two-phase
+// sharing protocol delivers up to f+1 copies per replica.
+func ShareKey(m *GlobalShare) (ShareDedupKey, bool) {
+	if m.Cert == nil {
+		return ShareDedupKey{}, false
+	}
+	return ShareDedupKey{
+		Cluster: m.Cluster,
+		Round:   m.Round,
+		Cert:    m.Cert.CertDigest(),
+		Batch:   m.Cert.Batch.Digest(),
+	}, true
+}
+
+// ShareDedupKey identifies one verified certificate share (see ShareKey).
+// Round is part of the key even though CertDigest covers Cert.Seq: the
+// claimed round lives outside the certificate, and PreVerify's Seq == Round
+// check must not be satisfiable by a cached verdict for a different round.
+type ShareDedupKey struct {
+	Cluster types.ClusterID
+	Round   uint64
+	Cert    types.Digest
+	Batch   types.Digest
+}

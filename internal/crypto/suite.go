@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"fmt"
+	"sync"
 	"time"
 
 	"resilientdb/internal/types"
@@ -67,12 +68,21 @@ func pairKey(a, b types.NodeID) []byte {
 // callback. Every protocol implementation performs its cryptography through
 // a Suite; the network simulator installs a charger so each operation
 // advances the node's virtual CPU clock.
+//
+// Concurrency contract: a Suite is safe for concurrent use by multiple
+// goroutines provided the charge callback (if any) is itself concurrent-safe.
+// Sign, Verify and Hash touch only immutable key material; MAC and VerifyMAC
+// build per-peer CMAC states lazily, guarded by an internal mutex (a CMAC is
+// immutable once built). The fabric relies on this: its verify pool shares
+// one Suite per node across all verifier goroutines and the worker.
 type Suite struct {
 	dir    *Directory
 	id     types.NodeID
 	costs  Costs
 	charge func(time.Duration)
-	cmacs  map[types.NodeID]*CMAC
+
+	mu    sync.Mutex // guards cmacs (lazily populated)
+	cmacs map[types.NodeID]*CMAC
 }
 
 // NewSuite returns a suite for node id. charge may be nil (no CPU
@@ -122,6 +132,8 @@ func (s *Suite) Verify(signer types.NodeID, payload, sig []byte) bool {
 }
 
 func (s *Suite) cmacFor(peer types.NodeID) *CMAC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c := s.cmacs[peer]
 	if c == nil {
 		var err error

@@ -1,6 +1,7 @@
 package crypto
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -111,5 +112,40 @@ func TestDirectoryDeterministicKeys(t *testing.T) {
 	sig := s1.Sign([]byte("cross-directory"))
 	if !s2.Verify(1, []byte("cross-directory"), sig) {
 		t.Error("directories with same provisioning disagree on keys")
+	}
+}
+
+// TestSuiteConcurrentUse exercises the Suite's concurrency contract: many
+// goroutines signing, verifying and MACing through one suite (the fabric's
+// verify pool does exactly this). Run under -race, it catches regressions in
+// the lazily-built CMAC cache.
+func TestSuiteConcurrentUse(t *testing.T) {
+	for _, mode := range []Mode{Real, Fast} {
+		peers := []types.NodeID{1, 2, 3, 4, 5}
+		dir := NewDirectory(mode, peers)
+		s := NewSuite(dir, 1, FreeCosts(), nil)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				payload := []byte{byte(g), 'p'}
+				for i := 0; i < 200; i++ {
+					peer := peers[(g+i)%len(peers)]
+					tag := s.MAC(peer, payload)
+					if !s.VerifyMAC(peer, payload, tag) {
+						t.Errorf("mode %v: MAC round-trip failed", mode)
+						return
+					}
+					sig := s.Sign(payload)
+					if !s.Verify(1, payload, sig) {
+						t.Errorf("mode %v: signature round-trip failed", mode)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }

@@ -2,25 +2,32 @@
 // multi-threaded, pipelined architecture of the paper's Figure 9 built from
 // goroutines and bounded channels. Each replica runs
 //
-//	input → (batching) → worker → output
+//	input → verify pool → (batching) → worker → output
 //
-// stages: input goroutines receive and classify messages from the
-// transport; the batching stage (primaries only) groups client transactions
-// into consensus batches; the worker owns the deterministic GeoBFT state
-// machine (local replication, certification, ordering and execution); and
-// output goroutines drain the send queue to the transport. Timers are real
-// (time.AfterFunc) and re-enter the worker queue, so the protocol cores stay
-// single-threaded and identical to the ones the simulator drives.
+// stages: the input goroutine receives messages from the transport and fans
+// them out to a pool of verify goroutines that perform every
+// state-independent cryptographic check (PBFT commit signatures, preprepare
+// digests, GeoBFT certificate and Rvc signatures) concurrently; a sequencer
+// re-establishes arrival order — preserving per-sender FIFO — before handing
+// verified messages to the worker, which owns the deterministic GeoBFT state
+// machine (local replication, certification, ordering and execution) and
+// skips re-verification; the batching stage (primaries only) groups client
+// transactions into consensus batches; and output goroutines drain the send
+// queue to the transport. Timers are real (time.AfterFunc) and re-enter the
+// worker queue, so the protocol cores stay single-threaded and identical to
+// the ones the simulator drives.
 package fabric
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
 	"resilientdb/internal/config"
 	"resilientdb/internal/core"
 	"resilientdb/internal/crypto"
+	"resilientdb/internal/metrics"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
@@ -54,6 +61,14 @@ type Config struct {
 	// Local restricts which replicas this process hosts (multi-process
 	// deployments over TCP). Nil means all replicas run here.
 	Local []types.NodeID
+	// VerifyWorkers sizes each node's pool of verify goroutines — the
+	// parallel input stage of Figure 9 that performs all cryptographic
+	// checks before a message reaches the worker. 0 selects GOMAXPROCS,
+	// except on a single-CPU host where the stage is disabled (it can only
+	// add overhead without a core to run on). A negative value disables the
+	// stage explicitly, verifying everything inline on the worker (the
+	// serial baseline); a positive value forces that pool size.
+	VerifyWorkers int
 }
 
 // Fabric is a running deployment: this process's replicas plus the shared
@@ -81,6 +96,13 @@ func New(cfg Config) *Fabric {
 	}
 	if cfg.RemoteTimeout == 0 {
 		cfg.RemoteTimeout = 3 * time.Second
+	}
+	if cfg.VerifyWorkers == 0 {
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			cfg.VerifyWorkers = p
+		} else {
+			cfg.VerifyWorkers = -1
+		}
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -144,6 +166,18 @@ func (f *Fabric) Crash(id types.NodeID) {
 	}
 }
 
+// Stats returns a snapshot of the deployment's loss counters: transport-level
+// drops (full mailboxes, full send queues, codec failures) plus this
+// process's per-node output-queue drops and verify-stage rejections. Safe to
+// call while the fabric is running.
+func (f *Fabric) Stats() metrics.DropStats {
+	st := f.tr.Stats()
+	for _, n := range f.nodes {
+		st.Add(n.drops.Snapshot())
+	}
+	return st
+}
+
 // Node is one replica's runtime: the Figure 9 pipeline around a GeoBFT
 // state machine.
 type Node struct {
@@ -152,14 +186,42 @@ type Node struct {
 	replica *core.Replica
 	env     *nodeEnv
 
-	inbox  <-chan transport.Envelope
-	workQ  chan func()
-	outQ   chan transport.Envelope
-	batchQ chan types.Transaction
+	inbox   <-chan transport.Envelope
+	verifyQ chan *verifyJob // fan-out to the verify pool
+	orderQ  chan *verifyJob // same jobs in arrival order, for the sequencer
+	workQ   chan func()
+	outQ    chan transport.Envelope
+	batchQ  chan types.Transaction
+
+	seen  shareCache // verified-certificate dedup (verify pool only)
+	drops metrics.Drops
 
 	quit     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+}
+
+// verifyJob carries one inbound message through the verify pool. The intake
+// goroutine enqueues the job on orderQ (arrival order) and verifyQ (any
+// order); a pool goroutine fills verdict and signals done; the sequencer
+// consumes orderQ, waits on done, and posts surviving messages to the worker
+// — so messages enter the state machine in exactly the order they arrived,
+// regardless of how verification interleaved.
+//
+// Jobs are pooled: the sequencer is the last toucher (its receive on done
+// happens-after the verifier's send), so it alone recycles them, and done —
+// one-buffered, so the verifier never blocks — is drained by that receive
+// and reusable as-is. On shutdown paths in-flight jobs are simply abandoned
+// to the GC.
+type verifyJob struct {
+	from    types.NodeID
+	msg     types.Message
+	verdict proto.Verdict
+	done    chan struct{}
+}
+
+var verifyJobPool = sync.Pool{
+	New: func() any { return &verifyJob{done: make(chan struct{}, 1)} },
 }
 
 func newNode(f *Fabric, id types.NodeID) *Node {
@@ -171,6 +233,10 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 		outQ:   make(chan transport.Envelope, 8192),
 		batchQ: make(chan types.Transaction, 65536),
 		quit:   make(chan struct{}),
+	}
+	if f.cfg.VerifyWorkers > 0 {
+		n.verifyQ = make(chan *verifyJob, 4096)
+		n.orderQ = make(chan *verifyJob, 4096)
 	}
 	n.env = &nodeEnv{node: n, start: time.Now()}
 	n.env.suite = crypto.NewSuite(f.dir, id, crypto.FreeCosts(), nil)
@@ -212,24 +278,30 @@ func (n *Node) start() {
 		}
 	}()
 
-	// Input threads: receive, classify, enqueue (two, as in Figure 9).
-	for i := 0; i < 2; i++ {
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			for {
-				select {
-				case env, ok := <-n.inbox:
-					if !ok {
+	if n.verifyQ != nil {
+		n.startVerifyPipeline()
+	} else {
+		// Serial baseline: input threads receive and enqueue directly; all
+		// cryptographic checks run on the worker (two threads, as the seed
+		// pipeline had).
+		for i := 0; i < 2; i++ {
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				for {
+					select {
+					case env, ok := <-n.inbox:
+						if !ok {
+							return
+						}
+						e := env
+						n.post(func() { n.replica.Receive(e.From, e.Msg) })
+					case <-n.quit:
 						return
 					}
-					e := env
-					n.post(func() { n.replica.Receive(e.From, e.Msg) })
-				case <-n.quit:
-					return
 				}
-			}
-		}()
+			}()
+		}
 	}
 
 	// Batching thread (primaries group client transactions into batches).
@@ -281,6 +353,140 @@ func (n *Node) start() {
 	}
 }
 
+// startVerifyPipeline launches the parallel verification stage: one intake
+// goroutine, VerifyWorkers verifier goroutines, and one sequencer. Crypto
+// runs concurrently; delivery order into the worker is the arrival order, so
+// per-sender FIFO (and the whole-node arrival order) is preserved and the
+// state machine behaves exactly as if it had verified inline.
+func (n *Node) startVerifyPipeline() {
+	// Intake: receive and enqueue in arrival order.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case env, ok := <-n.inbox:
+				if !ok {
+					return
+				}
+				j := verifyJobPool.Get().(*verifyJob)
+				j.from, j.msg, j.verdict = env.From, env.Msg, proto.VerdictPass
+				select {
+				case n.orderQ <- j:
+				case <-n.quit:
+					return
+				}
+				select {
+				case n.verifyQ <- j:
+				case <-n.quit:
+					return
+				}
+			case <-n.quit:
+				return
+			}
+		}
+	}()
+
+	// Verify pool: all cryptographic checks, concurrently.
+	for i := 0; i < n.fab.cfg.VerifyWorkers; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case j := <-n.verifyQ:
+					j.verdict = n.preVerify(j.from, j.msg)
+					j.done <- struct{}{}
+				case <-n.quit:
+					return
+				}
+			}
+		}()
+	}
+
+	// Sequencer: re-establish arrival order and feed the worker.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case j := <-n.orderQ:
+				select {
+				case <-j.done:
+				case <-n.quit:
+					return
+				}
+				from, msg, verdict := j.from, j.msg, j.verdict
+				j.msg = nil
+				verifyJobPool.Put(j)
+				switch verdict {
+				case proto.VerdictReject:
+					n.drops.VerifyReject.Add(1)
+				case proto.VerdictVerified:
+					n.post(func() { n.replica.ReceiveVerified(from, msg) })
+				default:
+					n.post(func() { n.replica.Receive(from, msg) })
+				}
+			case <-n.quit:
+				return
+			}
+		}
+	}()
+}
+
+// preVerify runs the concurrent checks for one message, with a dedup cache
+// for certificate shares: the two-phase sharing protocol delivers up to f+1
+// copies of each certificate per replica, and verifying n−f ed25519
+// signatures per copy would waste most of the pool's CPU.
+func (n *Node) preVerify(from types.NodeID, msg types.Message) proto.Verdict {
+	if gs, ok := msg.(*core.GlobalShare); ok {
+		if key, keyed := core.ShareKey(gs); keyed {
+			if n.seen.has(key) {
+				return proto.VerdictVerified
+			}
+			v := n.replica.PreVerify(n.env.suite, from, msg)
+			if v == proto.VerdictVerified {
+				n.seen.add(key)
+			}
+			return v
+		}
+	}
+	return n.replica.PreVerify(n.env.suite, from, msg)
+}
+
+// shareCache is a bounded set of verified certificate-share keys shared by
+// the verify pool's goroutines. Two generations rotate out old entries so
+// memory stays bounded without per-entry bookkeeping; a miss on a previously
+// verified share only costs a redundant (correct) re-verification.
+type shareCache struct {
+	mu        sync.Mutex
+	cur, prev map[core.ShareDedupKey]struct{}
+}
+
+const shareCacheGen = 4096
+
+func (c *shareCache) has(k core.ShareDedupKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cur[k]; ok {
+		return true
+	}
+	_, ok := c.prev[k]
+	return ok
+}
+
+func (c *shareCache) add(k core.ShareDedupKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		c.cur = make(map[core.ShareDedupKey]struct{}, shareCacheGen)
+	}
+	c.cur[k] = struct{}{}
+	if len(c.cur) >= shareCacheGen {
+		c.prev, c.cur = c.cur, make(map[core.ShareDedupKey]struct{}, shareCacheGen)
+	}
+}
+
 func (n *Node) stop() {
 	n.stopOnce.Do(func() { close(n.quit) })
 	n.wg.Wait()
@@ -320,11 +526,14 @@ func (e *nodeEnv) ID() types.NodeID { return e.node.id }
 // Now implements proto.Env.
 func (e *nodeEnv) Now() time.Duration { return time.Since(e.start) }
 
-// Send implements proto.Env: non-blocking enqueue to the output stage.
+// Send implements proto.Env: non-blocking enqueue to the output stage. A
+// full output queue behaves like a dropped datagram — but the drop is
+// counted, so benchmark runs can report loss.
 func (e *nodeEnv) Send(to types.NodeID, m types.Message) {
 	select {
 	case e.node.outQ <- transport.Envelope{From: to, Msg: m}:
-	default: // full output queue behaves like a dropped datagram
+	default:
+		e.node.drops.OutQ.Add(1)
 	}
 }
 

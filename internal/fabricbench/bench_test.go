@@ -1,0 +1,24 @@
+package fabricbench
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFabricThroughput measures committed-transaction throughput of a
+// live fabric with Real cryptography. Sub-benchmarks cover the PR-2 matrix:
+// Mem vs TCP loopback transport, z=2/n=4 vs z=4/n=7, serial inline
+// verification vs the parallel verify pool. Each iteration runs a fixed
+// measurement window and reports txn/s as a metric; run with -benchtime=1x.
+func BenchmarkFabricThroughput(b *testing.B) {
+	for _, sc := range StandardScenarios(2*time.Second, 2*time.Second) {
+		sc := sc
+		b.Run(sc.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Run(sc)
+				b.ReportMetric(res.TxnPerSec, "txn/s")
+				b.ReportMetric(float64(res.Drops.Total()), "drops")
+			}
+		})
+	}
+}

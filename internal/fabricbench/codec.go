@@ -1,0 +1,127 @@
+package fabricbench
+
+import (
+	"testing"
+
+	"resilientdb/internal/core"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/types"
+)
+
+// Wire-codec micro-benchmark fixtures and cases, sized like the paper's
+// batch-100 messages. They live in the non-test package so the test suite
+// (codec_bench_test.go) and the JSON report writer (cmd/fabricbench) measure
+// the exact same workload — two drifting copies would let the committed
+// numbers and the asserted contract diverge.
+
+// SampleBatch builds an n-transaction client batch.
+func SampleBatch(n int) types.Batch {
+	txns := make([]types.Transaction, n)
+	for i := range txns {
+		txns[i] = types.Transaction{Key: uint64(i), Value: uint64(i * 7)}
+	}
+	return types.Batch{Client: types.ClientIDBase + 3, Seq: 42, Txns: txns}
+}
+
+// SamplePrePrepare builds a batch-100 proposal (the paper's 5.4 kB message).
+func SamplePrePrepare() *pbft.PrePrepare {
+	b := SampleBatch(100)
+	return &pbft.PrePrepare{View: 2, Seq: 77, Digest: b.Digest(), Batch: b}
+}
+
+// SampleGlobalShare builds a certificate share with a batch-100 request and
+// a 3-signer commit certificate (the paper's 6.4 kB message).
+func SampleGlobalShare() *core.GlobalShare {
+	b := SampleBatch(100)
+	sig := make([]byte, 64)
+	for i := range sig {
+		sig[i] = byte(i)
+	}
+	cert := &pbft.Certificate{
+		View: 1, Seq: 9, Digest: b.Digest(), Batch: b,
+		Signers: []types.NodeID{0, 1, 2},
+		Sigs:    [][]byte{sig, sig, sig},
+	}
+	return &core.GlobalShare{Cluster: 1, Round: 9, Cert: cert}
+}
+
+// SampleReply builds a batch-100 client reply.
+func SampleReply() *proto.Reply {
+	return &proto.Reply{Client: types.ClientIDBase, ClientSeq: 8, Replica: 3,
+		TxnCount: 100, Result: types.Hash([]byte("result"))}
+}
+
+// EncodeUnpooled wire-encodes m through a fresh encoder (types.NewEncoder),
+// returning the encoded length.
+func EncodeUnpooled(m types.Message) int {
+	buf, err := types.EncodeMessage(m)
+	if err != nil {
+		panic(err)
+	}
+	return len(buf)
+}
+
+// EncodePooled wire-encodes m through the encoder pool
+// (types.GetEncoder/Release), returning the encoded length.
+func EncodePooled(m types.Message) int {
+	enc := types.GetEncoder()
+	if err := types.AppendMessage(enc, m); err != nil {
+		enc.Release()
+		panic(err)
+	}
+	n := len(enc.Bytes())
+	enc.Release()
+	return n
+}
+
+// CodecCase is one named codec micro-benchmark.
+type CodecCase struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// CodecCases returns the full micro-benchmark matrix: pooled and unpooled
+// encoding plus decoding, for each hot-path message shape.
+func CodecCases() []CodecCase {
+	shapes := []struct {
+		name string
+		msg  types.Message
+	}{
+		{"preprepare", SamplePrePrepare()},
+		{"globalshare", SampleGlobalShare()},
+		{"reply", SampleReply()},
+	}
+	var out []CodecCase
+	for _, s := range shapes {
+		s := s
+		out = append(out,
+			CodecCase{"encode/" + s.name + "/unpooled", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					EncodeUnpooled(s.msg)
+				}
+			}},
+			CodecCase{"encode/" + s.name + "/pooled", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					EncodePooled(s.msg)
+				}
+			}},
+			CodecCase{"decode/" + s.name, func(b *testing.B) {
+				buf, err := types.EncodeMessage(s.msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := types.DecodeMessage(buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+	return out
+}

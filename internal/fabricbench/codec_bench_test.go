@@ -1,0 +1,45 @@
+package fabricbench
+
+import (
+	"testing"
+
+	"resilientdb/internal/types"
+)
+
+// BenchmarkCodec runs the shared wire-codec micro-benchmark matrix (see
+// codec.go) — pooled vs unpooled encoding and decoding for the paper-sized
+// message shapes. Run with -benchmem; cmd/fabricbench records the same cases
+// into BENCH_PR2.json.
+func BenchmarkCodec(b *testing.B) {
+	for _, c := range CodecCases() {
+		b.Run(c.Name, c.Fn)
+	}
+}
+
+// TestPooledEncodeAllocatesLess pins the point of the encoder pool: encoding
+// through GetEncoder/Release allocates strictly less than NewEncoder-backed
+// EncodeMessage for every hot-path message shape.
+func TestPooledEncodeAllocatesLess(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		msg  types.Message
+	}{
+		{"preprepare", SamplePrePrepare()},
+		{"globalshare", SampleGlobalShare()},
+		{"reply", SampleReply()},
+	} {
+		// Warm the pool so the steady state is measured.
+		EncodePooled(tc.msg)
+		pooled := testing.AllocsPerRun(200, func() { EncodePooled(tc.msg) })
+		unpooled := testing.AllocsPerRun(200, func() { EncodeUnpooled(tc.msg) })
+		if pooled >= unpooled {
+			t.Errorf("%s: pooled encode allocates %.1f/op, unpooled %.1f/op; want pooled < unpooled",
+				tc.name, pooled, unpooled)
+		}
+		// sync.Pool drops items at random under the race detector, so the
+		// zero-steady-state bound only holds in normal builds.
+		if !raceEnabled && pooled > 1 {
+			t.Errorf("%s: pooled encode allocates %.1f/op; want ≤1", tc.name, pooled)
+		}
+	}
+}

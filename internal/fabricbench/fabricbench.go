@@ -1,0 +1,230 @@
+// Package fabricbench is the macro-benchmark harness for the real-time
+// fabric: it stands up a deployment with Real cryptography (over the
+// in-process Mem transport or real TCP loopback sockets), saturates every
+// cluster's primary with client transactions, and measures committed-txn
+// throughput at a backup replica — the number the paper's evaluation and the
+// ROADMAP's perf trajectory track. Scenarios toggle the parallel verify pool
+// against the serial baseline so each run quantifies what moving
+// cryptography off the consensus thread buys on the current hardware.
+package fabricbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/metrics"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// Scenario is one macro-benchmark configuration.
+type Scenario struct {
+	// Clusters (z) and PerCluster (n) shape the deployment.
+	Clusters   int
+	PerCluster int
+	// BatchSize is transactions per consensus batch (default 100).
+	BatchSize int
+	// VerifyWorkers configures the verify pool: negative is the serial
+	// baseline (all crypto on the worker), 0 selects GOMAXPROCS.
+	VerifyWorkers int
+	// TCP routes every message over real loopback sockets (one transport
+	// per replica, as in a multi-process deployment) instead of the
+	// in-process Mem transport.
+	TCP bool
+	// Warmup runs load without measuring (default 500ms); Duration is the
+	// measured window (default 2s).
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// Name returns a stable scenario label, e.g. "tcp/z2n4/pool".
+func (s Scenario) Name() string {
+	tr, mode := "mem", "pool"
+	if s.TCP {
+		tr = "tcp"
+	}
+	if s.VerifyWorkers < 0 {
+		mode = "serial"
+	}
+	return fmt.Sprintf("%s/z%dn%d/%s", tr, s.Clusters, s.PerCluster, mode)
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Name          string            `json:"name"`
+	Transport     string            `json:"transport"`
+	Clusters      int               `json:"clusters"`
+	PerCluster    int               `json:"per_cluster"`
+	BatchSize     int               `json:"batch_size"`
+	VerifyWorkers int               `json:"verify_workers"`
+	Seconds       float64           `json:"seconds"`
+	CommittedTxns uint64            `json:"committed_txns"`
+	TxnPerSec     float64           `json:"txn_per_sec"`
+	Drops         metrics.DropStats `json:"drops"`
+}
+
+// Run executes one scenario and reports committed-transaction throughput
+// observed at a backup replica of cluster 0 (which executes every cluster's
+// batches, so the number is whole-system commit throughput as seen by one
+// node).
+func Run(s Scenario) Result {
+	if s.BatchSize == 0 {
+		s.BatchSize = 100
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 500 * time.Millisecond
+	}
+	if s.Duration == 0 {
+		s.Duration = 2 * time.Second
+	}
+	topo := config.NewTopology(s.Clusters, s.PerCluster)
+
+	mkCfg := func() fabric.Config {
+		return fabric.Config{
+			Topo:          topo,
+			BatchSize:     s.BatchSize,
+			Records:       4096,
+			VerifyWorkers: s.VerifyWorkers,
+			// Generous timeouts: the benchmark measures steady-state commit
+			// throughput, and on an oversubscribed host the slow first rounds
+			// (cold TCP dials, cold caches) must not trip view changes —
+			// recovery thrash would measure the failure path instead.
+			LocalTimeout:  20 * time.Second,
+			RemoteTimeout: 30 * time.Second,
+		}
+	}
+
+	var fabs []*fabric.Fabric
+	byID := make(map[types.NodeID]*fabric.Fabric)
+	if s.TCP {
+		// One TCP transport and fabric slice per replica: every protocol
+		// message crosses a real loopback socket through the wire codec.
+		var mu sync.Mutex
+		book := make(map[types.NodeID]string)
+		lookup := func(id types.NodeID) string {
+			mu.Lock()
+			defer mu.Unlock()
+			return book[id]
+		}
+		trs := make(map[types.NodeID]*transport.TCP)
+		for _, id := range topo.AllReplicas() {
+			tr, err := transport.NewTCP("127.0.0.1:0", lookup)
+			if err != nil {
+				panic("fabricbench: " + err.Error())
+			}
+			mu.Lock()
+			book[id] = tr.Addr()
+			mu.Unlock()
+			trs[id] = tr
+		}
+		for _, id := range topo.AllReplicas() {
+			cfg := mkCfg()
+			cfg.Transport = trs[id]
+			cfg.Local = []types.NodeID{id}
+			f := fabric.New(cfg)
+			fabs = append(fabs, f)
+			byID[id] = f
+		}
+	} else {
+		f := fabric.New(mkCfg())
+		fabs = append(fabs, f)
+		for _, id := range topo.AllReplicas() {
+			byID[id] = f
+		}
+	}
+
+	// Feeders: keep every cluster's primary batching stage saturated.
+	// SubmitTxns blocks on a full batching queue, which is exactly the
+	// backpressure a saturating open-loop client exerts.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < s.Clusters; c++ {
+		primary := topo.ReplicaID(c, 0)
+		node := byID[primary].Node(primary)
+		wg.Add(1)
+		go func(c int, node *fabric.Node) {
+			defer wg.Done()
+			key := uint64(c) << 40
+			buf := make([]types.Transaction, s.BatchSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range buf {
+					buf[i] = types.Transaction{Key: key, Value: key}
+					key++
+				}
+				node.SubmitTxns(buf)
+			}
+		}(c, node)
+	}
+
+	observer := byID[topo.ReplicaID(0, 1)].Replica(topo.ReplicaID(0, 1))
+	time.Sleep(s.Warmup)
+	t0 := time.Now()
+	c0 := observer.ExecutedTxns()
+	time.Sleep(s.Duration)
+	committed := observer.ExecutedTxns() - c0
+	elapsed := time.Since(t0)
+
+	var drops metrics.DropStats
+	for _, f := range fabs {
+		drops.Add(f.Stats())
+	}
+	close(stop)
+	for _, f := range fabs {
+		f.Stop()
+	}
+	wg.Wait()
+
+	tr := "mem"
+	if s.TCP {
+		tr = "tcp"
+	}
+	return Result{
+		Name:          s.Name(),
+		Transport:     tr,
+		Clusters:      s.Clusters,
+		PerCluster:    s.PerCluster,
+		BatchSize:     s.BatchSize,
+		VerifyWorkers: s.VerifyWorkers,
+		Seconds:       elapsed.Seconds(),
+		CommittedTxns: committed,
+		TxnPerSec:     float64(committed) / elapsed.Seconds(),
+		Drops:         drops,
+	}
+}
+
+// StandardScenarios returns the PR-2 benchmark matrix: Mem and TCP loopback,
+// z=2/n=4 and z=4/n=7, serial baseline vs verify pool, Real cryptography.
+// The pool size is explicit (GOMAXPROCS, floor 2) so the pooled path is
+// actually measured even on hosts where the fabric's auto default would
+// disable it.
+func StandardScenarios(warmup, duration time.Duration) []Scenario {
+	pool := runtime.GOMAXPROCS(0)
+	if pool < 2 {
+		pool = 2
+	}
+	var out []Scenario
+	for _, tcp := range []bool{false, true} {
+		for _, topo := range [][2]int{{2, 4}, {4, 7}} {
+			for _, workers := range []int{-1, pool} {
+				out = append(out, Scenario{
+					Clusters:      topo[0],
+					PerCluster:    topo[1],
+					VerifyWorkers: workers,
+					TCP:           tcp,
+					Warmup:        warmup,
+					Duration:      duration,
+				})
+			}
+		}
+	}
+	return out
+}

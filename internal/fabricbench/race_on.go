@@ -1,0 +1,6 @@
+//go:build race
+
+package fabricbench
+
+// raceEnabled reports whether the race detector is active (see race_off.go).
+const raceEnabled = true

@@ -7,6 +7,7 @@ package ledger
 
 import (
 	"fmt"
+	"sync"
 
 	"resilientdb/internal/types"
 )
@@ -47,8 +48,12 @@ func blockHash(b *Block) types.Digest {
 	return types.Hash(enc.Bytes())
 }
 
-// Ledger is one replica's copy of the chain.
+// Ledger is one replica's copy of the chain. Appends come from the replica's
+// single-threaded executor; reads (Height, Head, Block, Verify, PrefixOf) are
+// guarded by an internal lock so monitoring code can inspect the chain while
+// the fabric is running.
 type Ledger struct {
+	mu     sync.RWMutex
 	blocks []*Block
 }
 
@@ -58,6 +63,8 @@ func New() *Ledger { return &Ledger{} }
 // Append adds the next block for (round, cluster, batch, certDigest) and
 // returns it.
 func (l *Ledger) Append(round uint64, cluster types.ClusterID, batch types.Batch, certDigest types.Digest) *Block {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	b := &Block{
 		Height:      uint64(len(l.blocks) + 1),
 		Round:       round,
@@ -75,10 +82,16 @@ func (l *Ledger) Append(round uint64, cluster types.ClusterID, batch types.Batch
 }
 
 // Height returns the number of blocks in the chain.
-func (l *Ledger) Height() uint64 { return uint64(len(l.blocks)) }
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks))
+}
 
 // Head returns the hash of the latest block, or the zero digest if empty.
 func (l *Ledger) Head() types.Digest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if len(l.blocks) == 0 {
 		return types.ZeroDigest
 	}
@@ -87,6 +100,8 @@ func (l *Ledger) Head() types.Digest {
 
 // Block returns the block at the given height (1-based), or nil.
 func (l *Ledger) Block(height uint64) *Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if height < 1 || height > uint64(len(l.blocks)) {
 		return nil
 	}
@@ -97,6 +112,8 @@ func (l *Ledger) Block(height uint64) *Block {
 // at the first tampered block. A recovering replica runs this against a
 // ledger it copied from an untrusted peer (Section 3).
 func (l *Ledger) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var prev types.Digest
 	for i, b := range l.blocks {
 		if b.Height != uint64(i+1) {
@@ -119,11 +136,21 @@ func (l *Ledger) Verify() error {
 // PrefixOf reports whether l is a prefix of other (used by tests to check
 // non-divergence across replicas).
 func (l *Ledger) PrefixOf(other *Ledger) bool {
-	if l.Height() > other.Height() {
+	// Snapshot each side under its own lock rather than holding both: two
+	// goroutines running a.PrefixOf(b) and b.PrefixOf(a) with writers queued
+	// would otherwise deadlock. Blocks are immutable once appended and the
+	// slice grows append-only, so the snapshots stay valid after unlock.
+	l.mu.RLock()
+	mine := l.blocks
+	l.mu.RUnlock()
+	other.mu.RLock()
+	theirs := other.blocks
+	other.mu.RUnlock()
+	if len(mine) > len(theirs) {
 		return false
 	}
-	for i, b := range l.blocks {
-		if other.blocks[i].Hash != b.Hash {
+	for i, b := range mine {
+		if theirs[i].Hash != b.Hash {
 			return false
 		}
 	}

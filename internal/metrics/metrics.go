@@ -7,8 +7,78 @@ package metrics
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Drops counts messages silently discarded along the fabric's pipeline. The
+// transports and the fabric runtime increment these from many goroutines;
+// read them with Snapshot. Every drop class a deployment can experience has
+// its own counter so a benchmark run can report loss instead of mystery
+// throughput dips.
+type Drops struct {
+	// Mailbox counts messages dropped because a node's receive mailbox was
+	// full.
+	Mailbox atomic.Uint64
+	// SendQueue counts frames dropped because a peer connection's outgoing
+	// queue was full (TCP transport).
+	SendQueue atomic.Uint64
+	// OutQ counts messages dropped because a node's output-stage queue was
+	// full (fabric).
+	OutQ atomic.Uint64
+	// Encode counts messages dropped because they could not be wire-encoded.
+	Encode atomic.Uint64
+	// Decode counts frames dropped because they could not be decoded.
+	Decode atomic.Uint64
+	// NoRoute counts messages dropped because the destination had no known
+	// address.
+	NoRoute atomic.Uint64
+	// VerifyReject counts inbound messages discarded by the verify stage:
+	// failed cryptographic checks, but also malformed or mis-routed
+	// messages the state machine would discard unconditionally (the stage
+	// rejects those before paying for crypto).
+	VerifyReject atomic.Uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (d *Drops) Snapshot() DropStats {
+	return DropStats{
+		Mailbox:      d.Mailbox.Load(),
+		SendQueue:    d.SendQueue.Load(),
+		OutQ:         d.OutQ.Load(),
+		Encode:       d.Encode.Load(),
+		Decode:       d.Decode.Load(),
+		NoRoute:      d.NoRoute.Load(),
+		VerifyReject: d.VerifyReject.Load(),
+	}
+}
+
+// DropStats is a snapshot of Drops, aggregatable across sources.
+type DropStats struct {
+	Mailbox      uint64 `json:"mailbox"`
+	SendQueue    uint64 `json:"send_queue"`
+	OutQ         uint64 `json:"out_queue"`
+	Encode       uint64 `json:"encode"`
+	Decode       uint64 `json:"decode"`
+	NoRoute      uint64 `json:"no_route"`
+	VerifyReject uint64 `json:"verify_reject"`
+}
+
+// Add accumulates o into s (merging per-node or per-transport snapshots).
+func (s *DropStats) Add(o DropStats) {
+	s.Mailbox += o.Mailbox
+	s.SendQueue += o.SendQueue
+	s.OutQ += o.OutQ
+	s.Encode += o.Encode
+	s.Decode += o.Decode
+	s.NoRoute += o.NoRoute
+	s.VerifyReject += o.VerifyReject
+}
+
+// Total returns the sum of all drop classes.
+func (s DropStats) Total() uint64 {
+	return s.Mailbox + s.SendQueue + s.OutQ + s.Encode + s.Decode + s.NoRoute + s.VerifyReject
+}
 
 // Collector accumulates samples. It is safe for concurrent use (the real
 // fabric is multi-threaded; the simulator is single-threaded).

@@ -262,13 +262,26 @@ func (r *Replica) tryPropose() {
 		dbg("%v PROPOSE view=%d seq=%d", r.env.ID(), r.view, r.nextSeq)
 		pp := &PrePrepare{View: r.view, Seq: r.nextSeq, Digest: d, Batch: b}
 		r.broadcast(pp)
-		r.onPrePrepare(r.env.ID(), pp)
+		r.onPrePrepare(r.env.ID(), pp, true) // digest freshly computed above
 	}
 }
 
 // HandleMessage dispatches a PBFT message; it returns false if msg is not a
-// PBFT message (so composing protocols can try their own handlers).
+// PBFT message (so composing protocols can try their own handlers). All
+// cryptographic checks run inline on the caller's goroutine.
 func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) bool {
+	return r.handle(from, msg, false)
+}
+
+// HandleVerified dispatches a PBFT message whose state-independent
+// cryptographic checks already passed PreVerify (the fabric's verify pool);
+// the apply path skips re-verification but keeps every stateful guard, so
+// decisions are identical to HandleMessage's.
+func (r *Replica) HandleVerified(from types.NodeID, msg types.Message) bool {
+	return r.handle(from, msg, true)
+}
+
+func (r *Replica) handle(from types.NodeID, msg types.Message, pre bool) bool {
 	switch m := msg.(type) {
 	case *Request:
 		// A forwarded client request: route it by our current role (the
@@ -278,7 +291,7 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) bool {
 		return true
 	case *PrePrepare:
 		r.env.Suite().ChargeVerifyMAC()
-		r.onPrePrepare(from, m)
+		r.onPrePrepare(from, m, pre)
 		return true
 	case *Prepare:
 		r.env.Suite().ChargeVerifyMAC()
@@ -286,7 +299,7 @@ func (r *Replica) HandleMessage(from types.NodeID, msg types.Message) bool {
 		return true
 	case *Commit:
 		r.env.Suite().ChargeVerifyMAC()
-		r.onCommit(from, m)
+		r.onCommit(from, m, pre)
 		return true
 	case *Checkpoint:
 		r.env.Suite().ChargeVerifyMAC()
@@ -312,7 +325,9 @@ func (r *Replica) inWindow(seq uint64) bool {
 	return seq > r.lowWater && seq <= r.lowWater+2*r.cfg.HighWaterMark
 }
 
-func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare) {
+// onPrePrepare applies a proposal. pre marks proposals whose batch/digest
+// binding was already checked (PreVerify, or the proposing path itself).
+func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare, pre bool) {
 	if from != r.PrimaryOf(m.View) {
 		return
 	}
@@ -330,7 +345,7 @@ func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare) {
 	if !r.inWindow(m.Seq) {
 		return
 	}
-	if m.Batch.Digest() != m.Digest {
+	if !pre && m.Batch.Digest() != m.Digest {
 		return
 	}
 	e := r.entryAt(m.Seq)
@@ -402,7 +417,9 @@ func (r *Replica) sendCommit(seq uint64, e *entry) {
 	r.maybeCommitted(seq, e)
 }
 
-func (r *Replica) onCommit(from types.NodeID, m *Commit) {
+// onCommit applies a commit vote. pre marks votes whose signature already
+// passed PreVerify.
+func (r *Replica) onCommit(from types.NodeID, m *Commit, pre bool) {
 	if !r.inWindow(m.Seq) || m.Replica != from {
 		return
 	}
@@ -413,7 +430,7 @@ func (r *Replica) onCommit(from types.NodeID, m *Commit) {
 	}
 	// Commit signatures are verified on receipt: they end up in
 	// certificates that other clusters check.
-	if !r.env.Suite().Verify(from, CommitPayload(m.View, m.Seq, m.Digest), m.Sig) {
+	if !pre && !r.env.Suite().Verify(from, CommitPayload(m.View, m.Seq, m.Digest), m.Sig) {
 		return
 	}
 	set[from] = m.Sig

@@ -1,0 +1,40 @@
+package pbft
+
+import (
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/proto"
+	"resilientdb/internal/types"
+)
+
+// PreVerify performs the state-independent cryptographic checks of a PBFT
+// message: the commit-signature verification and the preprepare batch/digest
+// binding, exactly the predicates the apply path would evaluate. It touches
+// no replica state, so the fabric's verify pool calls it concurrently from
+// many goroutines (suite must honor crypto.Suite's concurrency contract).
+//
+// The mapping is decision-equivalent to the inline path: VerdictReject is
+// returned only for messages the state machine would unconditionally discard,
+// and VerdictVerified messages may skip exactly the checks performed here.
+// Prepare signatures are deliberately not checked — they are verified lazily,
+// only when used inside a view-change proof, as in the paper's configuration.
+// View-change and new-view messages verify inline on the worker (rare path,
+// and their validation is entangled with quorum state).
+func PreVerify(suite *crypto.Suite, from types.NodeID, msg types.Message) proto.Verdict {
+	switch m := msg.(type) {
+	case *PrePrepare:
+		if m.Batch.Digest() != m.Digest {
+			return proto.VerdictReject
+		}
+		return proto.VerdictVerified
+	case *Commit:
+		if m.Replica != from {
+			return proto.VerdictReject
+		}
+		if !suite.Verify(m.Replica, CommitPayload(m.View, m.Seq, m.Digest), m.Sig) {
+			return proto.VerdictReject
+		}
+		return proto.VerdictVerified
+	default:
+		return proto.VerdictPass
+	}
+}

@@ -338,8 +338,10 @@ func (r *Replica) applyNewView(nv *NewView) {
 			continue
 		}
 		// Entries are reused, not reset: votes already bucketed under the
-		// new view's key must survive the re-proposal.
-		r.onPrePrepare(r.PrimaryOf(nv.View), pp)
+		// new view's key must survive the re-proposal. The digest/batch
+		// binding is re-checked: NewView proposals carry attacker-supplied
+		// batches.
+		r.onPrePrepare(r.PrimaryOf(nv.View), pp, false)
 	}
 	if r.nextSeq < maxSeq {
 		r.nextSeq = maxSeq
@@ -367,7 +369,7 @@ func (r *Replica) applyNewView(nv *NewView) {
 	r.futurePP = nil
 	for _, pp := range buffered {
 		if pp.View >= r.view {
-			r.onPrePrepare(r.PrimaryOf(pp.View), pp)
+			r.onPrePrepare(r.PrimaryOf(pp.View), pp, false)
 		}
 	}
 	r.tryPropose()

@@ -43,6 +43,27 @@ type Env interface {
 	Rand() *rand.Rand
 }
 
+// Verdict is the outcome of concurrent pre-verification. The fabric's verify
+// pool runs every state-independent cryptographic check of an inbound message
+// (PBFT commit signatures, preprepare batch digests, GeoBFT certificate and
+// Rvc signatures) before the message enters the worker queue, and tags it
+// with the verdict so the single-threaded state machine can skip
+// re-verification without changing any protocol decision.
+type Verdict int
+
+const (
+	// VerdictPass means the message has no state-independent cryptographic
+	// checks; it takes the full (verifying) apply path.
+	VerdictPass Verdict = iota
+	// VerdictVerified means every state-independent cryptographic check
+	// passed; the apply path may skip them.
+	VerdictVerified
+	// VerdictReject means a cryptographic check failed. The message must be
+	// dropped — the state machine would discard it anyway, so dropping early
+	// is decision-equivalent.
+	VerdictReject
+)
+
 // Multicast sends m to every listed node except the sender itself.
 func Multicast(env Env, ids []types.NodeID, m types.Message) {
 	self := env.ID()

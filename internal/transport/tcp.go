@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"resilientdb/internal/metrics"
 	"resilientdb/internal/types"
 )
 
@@ -47,6 +48,7 @@ type TCP struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup // accept loop, readers, peer writers
 	timers sync.WaitGroup // latency-injection timers
+	drops  metrics.Drops
 }
 
 const (
@@ -55,10 +57,13 @@ const (
 	maxFrame = 64 << 20
 	// sendQueueDepth bounds the per-peer outgoing queue.
 	sendQueueDepth = 4096
-	dialTimeout    = 3 * time.Second
-	writeTimeout   = 10 * time.Second
-	backoffFloor   = 50 * time.Millisecond
-	backoffCeil    = 2 * time.Second
+	// maxRetainedRead bounds the reusable per-connection read buffer; the
+	// encode side caps pooled buffers the same way (types.Release).
+	maxRetainedRead = 1 << 20
+	dialTimeout     = 3 * time.Second
+	writeTimeout    = 10 * time.Second
+	backoffFloor    = 50 * time.Millisecond
+	backoffCeil     = 2 * time.Second
 )
 
 // NewTCP starts a TCP transport listening on listenAddr (host:port; use
@@ -101,10 +106,13 @@ func (t *TCP) Register(id types.NodeID) <-chan Envelope {
 	if _, dup := t.boxes[id]; dup {
 		panic("transport: duplicate registration")
 	}
-	box := newMailbox()
+	box := newMailbox(&t.drops)
 	t.boxes[id] = box
 	return box.ch
 }
+
+// Stats implements Transport.
+func (t *TCP) Stats() metrics.DropStats { return t.drops.Snapshot() }
 
 // Send implements Transport. Local destinations are delivered directly;
 // remote ones are framed with the wire codec and queued on the connection
@@ -143,6 +151,7 @@ func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
 		if lat > 0 {
 			t.timers.Done()
 		}
+		t.drops.NoRoute.Add(1)
 		return // unknown node: drop, as Mem does
 	}
 	frame, err := encodeFrame(from, to, msg)
@@ -150,12 +159,15 @@ func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
 		if lat > 0 {
 			t.timers.Done()
 		}
+		t.drops.Encode.Add(1)
 		t.logf("transport: dropping %s to %v: %v", msg.MsgType(), to, err)
 		return
 	}
 	if lat <= 0 {
 		if peer := t.peerFor(dest); peer != nil {
 			peer.enqueue(frame)
+		} else {
+			frame.Release()
 		}
 		return
 	}
@@ -165,23 +177,29 @@ func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
 		// clean drop.
 		if peer := t.peerFor(dest); peer != nil {
 			peer.enqueue(frame)
+		} else {
+			frame.Release()
 		}
 	})
 }
 
 // encodeFrame builds one wire frame: 4-byte big-endian payload length, then
-// the payload — sender, destination and the tagged message body.
-func encodeFrame(from, to types.NodeID, msg types.Message) ([]byte, error) {
-	enc := types.NewEncoder(256)
+// the payload — sender, destination and the tagged message body. The frame
+// lives in a pooled encoder that travels the send queue; whoever consumes the
+// frame (writer loop, or the drop paths) releases it back to the pool, so
+// steady-state sending allocates nothing.
+func encodeFrame(from, to types.NodeID, msg types.Message) (*types.Encoder, error) {
+	enc := types.GetEncoder()
 	enc.U32(0) // length, patched below
 	enc.I32(int32(from))
 	enc.I32(int32(to))
 	if err := types.AppendMessage(enc, msg); err != nil {
+		enc.Release()
 		return nil, err
 	}
 	frame := enc.Bytes()
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
-	return frame, nil
+	return enc, nil
 }
 
 // peerFor returns (creating on first use) the outgoing connection to a
@@ -201,7 +219,7 @@ func (t *TCP) peerFor(dest string) *peerConn {
 	if p = t.peers[dest]; p != nil {
 		return p
 	}
-	p = &peerConn{t: t, dest: dest, queue: make(chan []byte, sendQueueDepth)}
+	p = &peerConn{t: t, dest: dest, queue: make(chan *types.Encoder, sendQueueDepth)}
 	t.peers[dest] = p
 	t.wg.Add(1)
 	go p.run()
@@ -286,20 +304,33 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var lenBuf [4]byte
+	// One payload buffer per connection, grown on demand and reused across
+	// frames: deliver's decoder copies every byte a message retains, so the
+	// buffer is free again as soon as deliver returns.
+	var payload []byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
 		if n < 8 || n > maxFrame {
+			t.drops.Decode.Add(1)
 			t.logf("transport: poisoned frame length %d from %s", n, conn.RemoteAddr())
 			return
 		}
-		payload := make([]byte, n)
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
 		t.deliver(payload, conn)
+		if cap(payload) > maxRetainedRead {
+			// An oversized frame (catch-up reply, view-change) grew the
+			// buffer; do not pin that memory for the connection's lifetime.
+			payload = nil
+		}
 	}
 }
 
@@ -311,6 +342,7 @@ func (t *TCP) deliver(payload []byte, conn net.Conn) {
 	to := types.NodeID(dec.I32())
 	msg, err := types.DecodeMessageFrom(dec)
 	if err != nil || dec.Remaining() != 0 {
+		t.drops.Decode.Add(1)
 		t.logf("transport: dropping undecodable frame from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -328,17 +360,20 @@ func (t *TCP) deliver(payload []byte, conn net.Conn) {
 type peerConn struct {
 	t     *TCP
 	dest  string
-	queue chan []byte
+	queue chan *types.Encoder
 
 	mu   sync.Mutex
 	conn net.Conn
 }
 
-// enqueue queues one frame without blocking; a full queue drops it.
-func (p *peerConn) enqueue(frame []byte) {
+// enqueue queues one frame without blocking; a full queue drops it (counted)
+// and recycles its buffer.
+func (p *peerConn) enqueue(frame *types.Encoder) {
 	select {
 	case p.queue <- frame:
 	default:
+		frame.Release()
+		p.t.drops.SendQueue.Add(1)
 		p.t.logf("transport: send queue to %s full, dropping frame", p.dest)
 	}
 }
@@ -392,12 +427,36 @@ func (p *peerConn) run() {
 }
 
 // writeLoop drains frames into conn until it fails or the transport closes.
+// Frames are coalesced: after the blocking receive, the loop greedily drains
+// whatever else is queued into a buffered writer and flushes only when the
+// queue runs empty, so a burst of broadcasts costs one syscall instead of one
+// per frame.
 func (p *peerConn) writeLoop(conn net.Conn) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	for {
 		select {
 		case frame := <-p.queue:
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-			if _, err := conn.Write(frame); err != nil {
+			_, err := bw.Write(frame.Bytes())
+			frame.Release()
+		coalesce:
+			for err == nil {
+				select {
+				case next := <-p.queue:
+					// Re-arm the deadline per frame: under sustained load
+					// this loop runs indefinitely, and a deadline fixed at
+					// batch start would time out a healthy connection.
+					conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+					_, err = bw.Write(next.Bytes())
+					next.Release()
+				default:
+					break coalesce
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				p.t.logf("transport: write to %s: %v (reconnecting)", p.dest, err)
 				return
 			}

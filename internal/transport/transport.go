@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"resilientdb/internal/metrics"
 	"resilientdb/internal/types"
 )
 
@@ -28,6 +29,10 @@ type Transport interface {
 	// Send delivers msg from one node to another. Sends to unknown nodes
 	// are dropped.
 	Send(from, to types.NodeID, msg types.Message)
+	// Stats returns a snapshot of the transport's loss counters, so runs
+	// can report drops (full mailboxes, full send queues, codec failures)
+	// instead of mystery throughput dips.
+	Stats() metrics.DropStats
 	// Close shuts the transport down; all mailboxes are closed.
 	Close()
 }
@@ -42,13 +47,15 @@ type mailbox struct {
 	mu     sync.Mutex
 	ch     chan Envelope
 	closed bool
+	drops  *metrics.Drops // owning transport's counters
 }
 
-func newMailbox() *mailbox {
-	return &mailbox{ch: make(chan Envelope, mailboxDepth)}
+func newMailbox(drops *metrics.Drops) *mailbox {
+	return &mailbox{ch: make(chan Envelope, mailboxDepth), drops: drops}
 }
 
-// put delivers e without blocking; full or closed mailboxes drop it.
+// put delivers e without blocking; full or closed mailboxes drop it (full
+// ones are counted).
 func (b *mailbox) put(e Envelope) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -58,6 +65,7 @@ func (b *mailbox) put(e Envelope) {
 	select {
 	case b.ch <- e:
 	default:
+		b.drops.Mailbox.Add(1)
 	}
 }
 
@@ -80,6 +88,7 @@ type Mem struct {
 	boxes  map[types.NodeID]*mailbox
 	closed bool
 	wg     sync.WaitGroup
+	drops  metrics.Drops
 }
 
 // NewMem returns an in-memory transport.
@@ -94,10 +103,13 @@ func (m *Mem) Register(id types.NodeID) <-chan Envelope {
 	if _, dup := m.boxes[id]; dup {
 		panic("transport: duplicate registration")
 	}
-	box := newMailbox()
+	box := newMailbox(&m.drops)
 	m.boxes[id] = box
 	return box.ch
 }
+
+// Stats implements Transport.
+func (m *Mem) Stats() metrics.DropStats { return m.drops.Snapshot() }
 
 // Send implements Transport. When the destination mailbox is full the
 // message is dropped, which keeps the pipeline non-blocking like a
@@ -110,6 +122,9 @@ func (m *Mem) Send(from, to types.NodeID, msg types.Message) {
 	m.mu.RLock()
 	box := m.boxes[to]
 	if box == nil || m.closed {
+		if box == nil && !m.closed {
+			m.drops.NoRoute.Add(1)
+		}
 		m.mu.RUnlock()
 		return
 	}

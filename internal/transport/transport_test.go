@@ -313,3 +313,78 @@ func TestTCPReconnect(t *testing.T) {
 	}
 	t.Fatal("no delivery after reconnect")
 }
+
+// TestStatsCountDrops checks that silent drops surface in Stats: full
+// mailboxes on Mem, unroutable destinations and encode failures on TCP.
+func TestStatsCountDrops(t *testing.T) {
+	t.Run("MemMailboxFull", func(t *testing.T) {
+		tr := NewMem()
+		defer tr.Close()
+		_ = tr.Register(1)
+		_ = tr.Register(2)
+		const extra = 50
+		for i := 0; i < mailboxDepth+extra; i++ {
+			tr.Send(2, 1, &msg{n: i})
+		}
+		if st := tr.Stats(); st.Mailbox != extra {
+			t.Errorf("mailbox drops = %d, want %d", st.Mailbox, extra)
+		}
+	})
+	t.Run("MemNoRoute", func(t *testing.T) {
+		tr := NewMem()
+		defer tr.Close()
+		_ = tr.Register(1)
+		tr.Send(1, 99, &msg{n: 1})
+		if st := tr.Stats(); st.NoRoute != 1 {
+			t.Errorf("no-route drops = %d, want 1", st.NoRoute)
+		}
+	})
+	t.Run("TCP", func(t *testing.T) {
+		a, b, _ := newTCPPair(t)
+		defer a.Close()
+		defer b.Close()
+		a.Register(1)
+		_ = b.Register(2)
+		a.Logf = func(string, ...any) {}
+		a.Send(1, 99, &pbft.CatchupRequest{FromSeq: 1}) // no address book entry
+		a.Send(1, 2, &msg{n: 1})                        // no wire codec
+		st := a.Stats()
+		if st.NoRoute != 1 || st.Encode != 1 {
+			t.Errorf("stats = %+v, want NoRoute=1 Encode=1", st)
+		}
+	})
+}
+
+// TestTCPBurstCoalesced pushes a large burst of frames through one
+// connection; the coalescing writer must deliver every frame intact and in
+// order.
+func TestTCPBurstCoalesced(t *testing.T) {
+	a, b, _ := newTCPPair(t)
+	defer a.Close()
+	defer b.Close()
+	a.Register(1)
+	box := b.Register(2)
+
+	const burst = 1000
+	for i := 0; i < burst; i++ {
+		a.Send(1, 2, &pbft.CatchupRequest{FromSeq: uint64(i)})
+	}
+	next := uint64(0)
+	deadline := time.After(10 * time.Second)
+	for next < burst {
+		select {
+		case env := <-box:
+			m, ok := env.Msg.(*pbft.CatchupRequest)
+			if !ok {
+				t.Fatalf("got %T", env.Msg)
+			}
+			if m.FromSeq != next {
+				t.Fatalf("out of order: got %d, want %d", m.FromSeq, next)
+			}
+			next++
+		case <-deadline:
+			st := a.Stats()
+			t.Fatalf("received %d/%d (sender drops: %+v)", next, burst, st)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 )
 
 // Encoder builds a canonical, deterministic binary encoding. It is used for
@@ -14,6 +15,36 @@ type Encoder struct {
 
 // NewEncoder returns an encoder with capacity hint n.
 func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// encoderPool recycles encoders (and their grown buffers) across the wire
+// hot path, where a fresh allocation per message would dominate the GC
+// profile.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// maxPooledBuf bounds the buffer capacity retained by the pool; encoders that
+// grew beyond it (oversized view-change or catch-up payloads) drop their
+// buffer on Release so the pool holds only hot-path-sized buffers.
+const maxPooledBuf = 1 << 20
+
+// GetEncoder returns an empty pooled encoder. It is the zero-allocation
+// variant of NewEncoder for hot paths: callers must hand the encoder back
+// with Release once the bytes from Bytes have been fully consumed, and must
+// not retain any slice derived from it afterwards (Bytes aliases the pooled
+// buffer).
+func GetEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// Release resets e and returns it to the pool. Neither e nor any slice
+// obtained from e.Bytes may be used after Release.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	e.Reset()
+	encoderPool.Put(e)
+}
+
+// Reset discards the encoded bytes, retaining the buffer capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Bytes returns the encoded bytes. The slice aliases the encoder's buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
@@ -52,7 +83,7 @@ func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
 // Digest appends a 32-byte digest.
 func (e *Encoder) Digest(d Digest) { e.buf = append(e.buf, d[:]...) }
 
-// Bytes32 appends a length-prefixed byte slice.
+// BytesN appends a length-prefixed byte slice.
 func (e *Encoder) BytesN(b []byte) {
 	e.U32(uint32(len(b)))
 	e.buf = append(e.buf, b...)

@@ -25,6 +25,7 @@ import (
 	"resilientdb/internal/core"
 	"resilientdb/internal/fabric"
 	"resilientdb/internal/ledger"
+	"resilientdb/internal/metrics"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -57,6 +58,14 @@ type Options struct {
 	// and 3 s; lower them in tests that inject crashes).
 	LocalTimeout  time.Duration
 	RemoteTimeout time.Duration
+	// VerifyWorkers sizes each replica's parallel verification pool (all
+	// cryptographic checks run there, off the consensus thread). 0 selects
+	// GOMAXPROCS, except on a single-CPU host (GOMAXPROCS=1) where it
+	// disables the pool — without a spare core the stage only adds
+	// overhead. Negative disables the pool explicitly, and a positive
+	// value forces that pool size; both serial modes verify inline on the
+	// worker.
+	VerifyWorkers int
 	// Net, if non-nil, runs this process as one member of a multi-process
 	// TCP deployment instead of a self-contained in-process fabric.
 	Net *NetOptions
@@ -109,6 +118,7 @@ func Open(o Options) (*DB, error) {
 		Records:       o.Records,
 		LocalTimeout:  o.LocalTimeout,
 		RemoteTimeout: o.RemoteTimeout,
+		VerifyWorkers: o.VerifyWorkers,
 	}
 	var latency func(from, to types.NodeID) time.Duration
 	if o.EmulateWAN {
@@ -205,6 +215,11 @@ func (db *DB) CrashReplica(cluster, replica int) {
 func (db *DB) Topology() (clusters, perCluster, f int) {
 	return db.topo.Clusters, db.topo.PerCluster, db.topo.F()
 }
+
+// Stats returns a snapshot of the deployment's message-loss counters (full
+// queues, codec failures, verify-stage rejections). Safe to call while the
+// deployment is running.
+func (db *DB) Stats() metrics.DropStats { return db.fab.Stats() }
 
 // Close shuts the deployment down.
 func (db *DB) Close() { db.fab.Stop() }
