@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz bench
+.PHONY: check build test race vet fmt fuzz bench chaos
 
 check: vet race
 
@@ -21,9 +21,17 @@ vet:
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"
 
-# Short fuzz pass over the wire codec (decode must never panic).
+# Short fuzz pass over the wire codec (decode must never panic) and the
+# ledger importer (rejected ranges must leave the chain untouched).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/types/
+	$(GO) test -run '^$$' -fuzz FuzzLedgerImport -fuzztime 30s ./internal/ledger/
+
+# Seeded fault-injection scenario suite (crash-primary, crash-remote-primary,
+# partition-heal, restart-and-catch-up), race-instrumented. See README
+# "Failure model & recovery".
+chaos:
+	$(GO) test -race -v -count=1 -run TestChaosScenarios ./internal/chaos/
 
 # Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
 # serial vs verify pool) plus codec micro-benchmarks; writes BENCH_PR2.json

@@ -191,6 +191,95 @@ func TestMultiProcessCluster(t *testing.T) {
 	}
 }
 
+// TestPrimaryKillAndRejoin is the end-to-end failure-model run over real
+// TCP: a 4-replica cluster of separate OS processes loses its primary to
+// SIGKILL mid-load, the client's commits must resume through the local view
+// change, and the killed process is then relaunched with identical flags and
+// must rejoin by pulling the whole certified chain from its peers (ledger
+// catch-up) — every replica, the reborn one included, reports the same
+// verified ledger.
+func TestPrimaryKillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run")
+	}
+	const n = 4
+	addrs := reserveAddrs(t, n+2)
+	replicaAddrs := addrs[:n]
+	clientAddrs := addrs[n:]
+
+	common := []string{
+		"-clusters", "1",
+		"-replicas", strconv.Itoa(n),
+		"-peers", joinAddrs(replicaAddrs),
+		"-clients", joinAddrs(clientAddrs),
+		"-local-timeout", "1s",
+		"-remote-timeout", "1s",
+	}
+	replicas := make([]*proc, n)
+	for i := range replicas {
+		replicas[i] = startProc(t, append([]string{
+			"-listen", replicaAddrs[i], "-id", strconv.Itoa(i),
+		}, common...)...)
+	}
+	defer func() {
+		for _, p := range replicas {
+			if p.cmd.ProcessState == nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+
+	// Load the cluster, then kill the primary mid-run. Commits can only
+	// resume after the remaining replicas complete a view change, so the
+	// client finishing all its batches IS the liveness assertion.
+	client0 := startProc(t, append([]string{
+		"-listen", clientAddrs[0], "-client", "0", "-batches", "40", "-batch-size", "5",
+	}, common...)...)
+	time.Sleep(800 * time.Millisecond)
+	replicas[0].cmd.Process.Kill()
+	replicas[0].cmd.Wait()
+	waitProc(t, client0, "client 0 (across primary kill)", 180*time.Second)
+
+	// Rejoin: same binary, same flags, fresh process. It starts with nothing
+	// (amnesia) and must recover the chain via catch-up while fresh traffic
+	// from a second client provides the evidence that it is behind.
+	replicas[0] = startProc(t, append([]string{
+		"-listen", replicaAddrs[0], "-id", "0",
+	}, common...)...)
+	client1 := startProc(t, append([]string{
+		"-listen", clientAddrs[1], "-client", "1", "-batches", "8", "-batch-size", "5",
+	}, common...)...)
+	waitProc(t, client1, "client 1 (during rejoin)", 120*time.Second)
+	time.Sleep(5 * time.Second) // let the reborn replica drain its catch-up
+
+	for _, p := range replicas {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	final := regexp.MustCompile(`replica (\d+): ledger height=(\d+) head=([0-9a-f]+) verified`)
+	heights := make([]int, n)
+	heads := make([]string, n)
+	for i, p := range replicas {
+		waitProc(t, p, fmt.Sprintf("replica %d", i), 30*time.Second)
+		m := final.FindStringSubmatch(p.out.String())
+		if m == nil {
+			t.Fatalf("replica %d printed no verified ledger line:\n%s", i, p.out.String())
+		}
+		heights[i], _ = strconv.Atoi(m[2])
+		heads[i] = m[3]
+	}
+	for i := 1; i < n; i++ {
+		if heads[i] != heads[0] || heights[i] != heights[0] {
+			t.Errorf("replica %d ledger (height=%d head=%s) differs from replica 0 (height=%d head=%s)",
+				i, heights[i], heads[i], heights[0], heads[0])
+		}
+	}
+	// 48 client batches committed; every one is its own consensus round.
+	if heights[0] < 48 {
+		t.Errorf("ledger height %d < 48 committed batches", heights[0])
+	}
+}
+
 func joinAddrs(addrs []string) string {
 	out := ""
 	for i, a := range addrs {

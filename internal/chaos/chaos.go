@@ -1,0 +1,316 @@
+// Package chaos is a deterministic fault-injection harness for the
+// ResilientDB fabric: scripted scenarios crash primaries, partition
+// clusters, and restart replicas with or without their disk, then assert
+// the guarantees the paper claims for GeoBFT — safety (every replica's
+// ledger verifies and all ledgers are prefixes of one another) and liveness
+// (the commit height advances again once the fault heals or is routed
+// around by local/remote view changes).
+//
+// Scenarios run a real fabric over the in-process transport wrapped in
+// transport.Faulty, so every drop decision comes from a fixed seed. The
+// suite runs in tier-1 (`go test ./internal/chaos`) and via `make chaos`.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// Scenario is one scripted fault-injection run.
+type Scenario struct {
+	// Name identifies the scenario in logs and test output.
+	Name string
+	// Description says what the scenario proves.
+	Description string
+	// Clusters and Replicas set the topology (z clusters of n replicas).
+	Clusters, Replicas int
+	// Run drives the deployment; a non-nil error is an assertion failure.
+	Run func(e *Env) error
+}
+
+// Run executes one scenario against a fresh deployment whose fault injector
+// is seeded with seed. logf (optional) receives progress lines.
+func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	topo := config.NewTopology(s.Clusters, s.Replicas)
+	net := transport.NewFaulty(transport.NewMem(), seed)
+	fab := fabric.New(fabric.Config{
+		Topo:          topo,
+		BatchSize:     4,
+		Records:       128,
+		LocalTimeout:  400 * time.Millisecond,
+		RemoteTimeout: 700 * time.Millisecond,
+		Transport:     net,
+	})
+	e := &Env{
+		Topo:    topo,
+		Fab:     fab,
+		Net:     net,
+		Logf:    logf,
+		crashed: make(map[types.NodeID]bool),
+	}
+	defer e.StopAll()
+	logf("chaos/%s: z=%d n=%d seed=%d", s.Name, s.Clusters, s.Replicas, seed)
+	return s.Run(e)
+}
+
+// Env is the running deployment a scenario manipulates and asserts against.
+type Env struct {
+	Topo config.Topology
+	Fab  *fabric.Fabric
+	Net  *transport.Faulty
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	loaders []*Loader
+	crashed map[types.NodeID]bool
+	stopped bool
+}
+
+// ReplicaID maps (cluster, local index) to a node id.
+func (e *Env) ReplicaID(cluster, idx int) types.NodeID { return e.Topo.ReplicaID(cluster, idx) }
+
+// ClusterNodes returns the replica ids of one cluster (for partitioning).
+func (e *Env) ClusterNodes(cluster int) []types.NodeID { return e.Topo.ClusterMembers(cluster) }
+
+// Crash halts one replica like a machine failure.
+func (e *Env) Crash(cluster, idx int) {
+	id := e.ReplicaID(cluster, idx)
+	e.Logf("chaos: crash %v", id)
+	e.Fab.StopNode(id)
+	e.mu.Lock()
+	e.crashed[id] = true
+	e.mu.Unlock()
+}
+
+// Restart brings a crashed replica back, with its ledger (crash-with-disk)
+// or without (amnesia).
+func (e *Env) Restart(cluster, idx int, keepLedger bool) error {
+	id := e.ReplicaID(cluster, idx)
+	e.Logf("chaos: restart %v keepLedger=%v", id, keepLedger)
+	if err := e.Fab.StartNode(id, keepLedger); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.crashed, id)
+	e.mu.Unlock()
+	return nil
+}
+
+// live returns the ids of replicas that are not crashed.
+func (e *Env) live() []types.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []types.NodeID
+	for _, id := range e.Topo.AllReplicas() {
+		if !e.crashed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Height reads one replica's ledger height (safe while running).
+func (e *Env) Height(cluster, idx int) uint64 {
+	return e.Fab.Replica(e.ReplicaID(cluster, idx)).Ledger().Height()
+}
+
+// MaxHeight returns the highest ledger height across live replicas.
+func (e *Env) MaxHeight() uint64 {
+	var max uint64
+	for _, id := range e.live() {
+		if h := e.Fab.Replica(id).Ledger().Height(); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// WaitHeight polls until the replica's ledger reaches target blocks.
+func (e *Env) WaitHeight(cluster, idx int, target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if h := e.Height(cluster, idx); h >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: replica (%d,%d) stuck at height %d, want ≥ %d",
+				cluster, idx, e.Height(cluster, idx), target)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// WaitCommitted polls until the loader has committed at least target batches.
+func (e *Env) WaitCommitted(l *Loader, target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if l.Committed() >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: load stuck at %d committed batches, want ≥ %d", l.Committed(), target)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// WaitConverged polls until every live replica reports the same non-zero
+// ledger height and head, then verifies every chain. This is the combined
+// safety+liveness postcondition of each scenario.
+func (e *Env) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		last = e.converged()
+		if last == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (e *Env) converged() error {
+	live := e.live()
+	if len(live) == 0 {
+		return fmt.Errorf("chaos: no live replicas")
+	}
+	ref := e.Fab.Replica(live[0]).Ledger()
+	if ref.Height() == 0 {
+		return fmt.Errorf("chaos: %v has an empty ledger", live[0])
+	}
+	for _, id := range live[1:] {
+		l := e.Fab.Replica(id).Ledger()
+		if l.Height() != ref.Height() || l.Head() != ref.Head() {
+			return fmt.Errorf("chaos: %v at height %d head %s, %v at height %d head %s",
+				live[0], ref.Height(), ref.Head().Short(), id, l.Height(), l.Head().Short())
+		}
+	}
+	for _, id := range live {
+		if err := e.Fab.Replica(id).Ledger().Verify(); err != nil {
+			return fmt.Errorf("chaos: %v: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// AssertPrefixes checks the pure safety property mid-fault: every pair of
+// replica ledgers (crashed ones included — their frozen state must never
+// contradict the live chain) are prefixes of one another.
+func (e *Env) AssertPrefixes() error {
+	all := e.Topo.AllReplicas()
+	for i, a := range all {
+		la := e.Fab.Replica(a).Ledger()
+		if err := la.Verify(); err != nil {
+			return fmt.Errorf("chaos: %v: %w", a, err)
+		}
+		for _, b := range all[i+1:] {
+			lb := e.Fab.Replica(b).Ledger()
+			if !la.PrefixOf(lb) && !lb.PrefixOf(la) {
+				return fmt.Errorf("chaos: ledgers of %v and %v diverge", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// View returns a replica's local PBFT view. Only meaningful after StopAll
+// (the worker is halted, so the read cannot race).
+func (e *Env) View(cluster, idx int) uint64 {
+	return e.Fab.Replica(e.ReplicaID(cluster, idx)).Local().View()
+}
+
+// StopLoads stops every loader started via StartLoad.
+func (e *Env) StopLoads() {
+	e.mu.Lock()
+	loaders := e.loaders
+	e.loaders = nil
+	e.mu.Unlock()
+	for _, l := range loaders {
+		l.Stop()
+	}
+}
+
+// StopAll stops loads and shuts the deployment down (idempotent). After it
+// returns, per-replica state (views, ledgers) can be read race-free.
+func (e *Env) StopAll() {
+	e.StopLoads()
+	e.mu.Lock()
+	done := e.stopped
+	e.stopped = true
+	e.mu.Unlock()
+	if !done {
+		e.Fab.Stop()
+	}
+}
+
+// Loader submits small transaction batches from a background goroutine until
+// stopped, tolerating per-batch timeouts (faults are expected to fail some
+// submissions; the stream continues so liveness is observable).
+type Loader struct {
+	client    int
+	cl        *fabric.Client
+	committed atomic.Uint64
+	quit      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
+	closeOnce sync.Once
+}
+
+// StartLoad opens client index i (home cluster i mod z) and starts its
+// submission loop.
+func (e *Env) StartLoad(client int) *Loader {
+	l := &Loader{
+		client: client,
+		cl:     e.Fab.NewClient(client),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	e.mu.Lock()
+	e.loaders = append(e.loaders, l)
+	e.mu.Unlock()
+	go func() {
+		defer close(l.done)
+		for k := 0; ; k++ {
+			select {
+			case <-l.quit:
+				return
+			default:
+			}
+			txns := []types.Transaction{
+				{Key: uint64(l.client)<<32 | uint64(2*k), Value: uint64(k)},
+				{Key: uint64(l.client)<<32 | uint64(2*k+1), Value: uint64(k)},
+			}
+			if err := l.cl.Submit(txns, 8*time.Second); err == nil {
+				l.committed.Add(1)
+			}
+		}
+	}()
+	return l
+}
+
+// Committed returns how many batches the loader has seen confirmed.
+func (l *Loader) Committed() uint64 { return l.committed.Load() }
+
+// Stop halts the loader, unblocking any in-flight submission, and returns
+// the number of committed batches. Idempotent.
+func (l *Loader) Stop() uint64 {
+	l.stopOnce.Do(func() {
+		close(l.quit)
+		l.closeOnce.Do(l.cl.Close) // unblocks a Submit in flight
+		<-l.done
+	})
+	return l.committed.Load()
+}

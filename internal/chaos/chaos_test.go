@@ -1,0 +1,26 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"resilientdb/internal/chaos"
+)
+
+// chaosSeed fixes every injected fault decision; the suite must pass
+// deterministically (and under -race) with it. `make chaos` runs exactly
+// this test.
+const chaosSeed = 20260728
+
+func TestChaosScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time fault-injection suite")
+	}
+	for _, s := range chaos.Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if err := chaos.Run(s, chaosSeed, t.Logf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

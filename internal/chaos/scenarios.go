@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scenarios returns the built-in suite: the failure modes of the paper's
+// evaluation (Figures 6–7) plus the recovery path the protocol description
+// leaves implicit — a replica rejoining after a crash.
+func Scenarios() []Scenario {
+	return []Scenario{
+		crashPrimary(),
+		crashRemotePrimary(),
+		partitionHeal(),
+		restartCatchUp(),
+	}
+}
+
+// warmup is the height every scenario reaches before injecting its fault,
+// proving the deployment was healthy first.
+const warmup = 4
+
+// crashPrimary kills the primary of cluster 0 mid-load. The local PBFT view
+// change (Figure 6) must elect a new primary and commits must resume.
+func crashPrimary() Scenario {
+	return Scenario{
+		Name:        "crash-primary",
+		Description: "local view change routes around a crashed cluster primary",
+		Clusters:    2, Replicas: 4,
+		Run: func(e *Env) error {
+			l0 := e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Crash(0, 0)
+			before := l0.Committed()
+			// Liveness: cluster 0 keeps confirming client batches, which after
+			// the crash requires a completed local view change.
+			if err := e.WaitCommitted(l0, before+3, 90*time.Second); err != nil {
+				return err
+			}
+			e.StopLoads()
+			if err := e.WaitConverged(60 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if v := e.View(0, 1); v == 0 {
+				return fmt.Errorf("chaos: cluster 0 committed past the crash without a view change")
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// crashRemotePrimary kills the primary of cluster 1 while only cluster 0
+// carries load. Execution at cluster 0 blocks on cluster 1's certificates,
+// so progress requires the remote view-change protocol (Figure 7): DRvc
+// agreement inside cluster 0, a signed Rvc to cluster 1, and a forced view
+// change there so its new primary resumes certifying (no-op) rounds.
+func crashRemotePrimary() Scenario {
+	return Scenario{
+		Name:        "crash-remote-primary",
+		Description: "DRvc/Rvc replace a remote cluster's crashed primary",
+		Clusters:    2, Replicas: 4,
+		Run: func(e *Env) error {
+			l0 := e.StartLoad(0)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Crash(1, 0)
+			h := e.Height(0, 1)
+			// Liveness: cluster 0's execution passes the crash point, which
+			// requires fresh cluster-1 certificates — impossible without the
+			// remote view change deposing the dead primary.
+			if err := e.WaitHeight(0, 1, h+2*uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			_ = l0
+			e.StopLoads()
+			if err := e.WaitConverged(60 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if v := e.View(1, 1); v == 0 {
+				return fmt.Errorf("chaos: cluster 1 advanced without the Rvc-forced view change")
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// partitionHeal cuts all cross-cluster links, holds the partition while both
+// sides stall (local replication continues; global execution cannot), then
+// heals and requires the deployment to converge — which exercises the
+// resharing path: each side's remote view change forces the other cluster's
+// primary to re-send every certificate the partition swallowed.
+func partitionHeal() Scenario {
+	return Scenario{
+		Name:        "partition-heal",
+		Description: "cross-cluster partition: safety while split, liveness after heal",
+		Clusters:    2, Replicas: 4,
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Logf("chaos: partitioning cluster 0 from cluster 1")
+			e.Net.Partition(e.ClusterNodes(0), e.ClusterNodes(1))
+			time.Sleep(1500 * time.Millisecond)
+			// Safety while split: no replica's chain may contradict another's.
+			if err := e.AssertPrefixes(); err != nil {
+				return err
+			}
+			h := e.MaxHeight()
+			e.Logf("chaos: healing at height %d", h)
+			e.Net.Heal()
+			// Liveness after heal: every replica executes past the stall.
+			if err := e.WaitHeight(0, 1, h+uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			e.StopLoads()
+			if err := e.WaitConverged(120 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// restartCatchUp crashes one backup in each cluster, lets the deployment
+// advance well past their frozen state, then restarts one with amnesia (it
+// must rebuild the entire chain from peers) and one from its preserved
+// ledger (it must re-verify the disk copy and fetch only the missed suffix).
+// Both must converge to the live height with verified, identical chains.
+func restartCatchUp() Scenario {
+	return Scenario{
+		Name:        "restart-catch-up",
+		Description: "crashed replicas rejoin via ledger catch-up (amnesia and with-disk)",
+		Clusters:    2, Replicas: 4,
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Crash(0, 3)
+			e.Crash(1, 3)
+			h := e.Height(0, 1)
+			// The cluster must leave the crashed replicas far behind, so their
+			// recovery genuinely needs block transfer (not just live traffic).
+			if err := e.WaitHeight(0, 1, h+4*uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			if err := e.Restart(0, 3, false); err != nil { // amnesia
+				return err
+			}
+			if err := e.Restart(1, 3, true); err != nil { // crash-with-disk
+				return err
+			}
+			// Keep load flowing briefly: live shares are the restarted
+			// replicas' evidence that they are behind.
+			time.Sleep(time.Second)
+			e.StopLoads()
+			if err := e.WaitConverged(120 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			return e.AssertPrefixes()
+		},
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// Ledger catch-up: the recovery half of the paper's resilience story
+// (Section 3). A replica that detects a gap between its executed prefix and
+// the rounds its cluster — or the other clusters — provably reached asks a
+// peer for certified block ranges (CatchUpReq/CatchUpResp), re-verifies
+// every commit certificate against the origin cluster's membership, replays
+// the blocks into its store and ledger, and fast-forwards its local PBFT
+// instance past the decided prefix. This is what lets a crashed or
+// late-joining replica converge to the live height instead of being stuck
+// behind its cluster's garbage-collection windows forever.
+
+// catchupBatch bounds how many blocks one CatchUpResp carries; a lagging
+// replica pulls ranges repeatedly until the gap closes.
+const catchupBatch = 64
+
+// catchupInterval paces the gap-supervision timer.
+func (r *Replica) catchupInterval() time.Duration {
+	d := r.cfg.RemoteTimeout / 4
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// scheduleCatchup arms the catch-up supervision timer (idempotent). It is
+// called whenever evidence of lagging appears: a certified round beyond the
+// next executable one (onGlobalShare), or f+1 local checkpoints ahead of our
+// commit point (the local PBFT's Behind hook).
+func (r *Replica) scheduleCatchup() {
+	if r.catchupTimer != nil {
+		return
+	}
+	r.catchupTimer = r.env.SetTimer(r.catchupInterval(), r.catchupTick)
+}
+
+func (r *Replica) catchupTick() {
+	r.catchupTimer = nil
+	if !r.catchupGap() {
+		return
+	}
+	r.sendCatchUpReq()
+	r.scheduleCatchup()
+}
+
+// catchupGap reports whether there is still evidence of being behind. Rounds
+// beyond the blocking one can also accumulate under normal pipelining while
+// one cluster lags; in that case the peers' ledgers are no longer than ours,
+// the request comes back empty, and the tick is a cheap no-op.
+func (r *Replica) catchupGap() bool {
+	next := r.executedRound.Load() + 1
+	for rnd := range r.rounds {
+		if rnd > next {
+			return true
+		}
+	}
+	// Blocked on our own cluster's certificate for the next round while
+	// another cluster already certified it, and our local PBFT has not
+	// committed it: a recovering replica that rejoined mid-view cannot
+	// produce that certificate itself, so only a peer's ledger can unblock
+	// it. (A healthy replica matches this transiently while its commit is in
+	// flight; the pull then finds no longer ledger and is a no-op.)
+	if rd := r.rounds[next]; rd != nil && rd.certs[r.myCluster] == nil && r.local.CommittedUpTo() < next {
+		return true
+	}
+	return r.behindSeq > r.local.CommittedUpTo()
+}
+
+// sendCatchUpReq asks one random local-cluster peer for the blocks we are
+// missing. Every replica retains the full chain, and intra-cluster links are
+// the cheap ones; a dead peer simply costs one dropped message and the next
+// tick retries another.
+func (r *Replica) sendCatchUpReq() {
+	if len(r.members) < 2 {
+		return
+	}
+	peer := r.cfg.Self
+	for peer == r.cfg.Self {
+		peer = r.members[r.env.Rand().Intn(len(r.members))]
+	}
+	r.env.Suite().ChargeMAC()
+	r.env.Send(peer, &CatchUpReq{NextHeight: r.ledger.Height() + 1})
+}
+
+func (r *Replica) onCatchUpReq(from types.NodeID, m *CatchUpReq) {
+	if from.IsClient() {
+		return
+	}
+	blocks := trimToRoundBoundary(r.ledger.Export(m.NextHeight, catchupBatch), r.cfg.Topo.Clusters)
+	if len(blocks) == 0 {
+		return
+	}
+	r.env.Suite().ChargeMAC()
+	r.env.Send(from, &CatchUpResp{Blocks: blocks, Height: r.ledger.Height()})
+}
+
+func (r *Replica) onCatchUpResp(from types.NodeID, m *CatchUpResp) {
+	blocks := trimToRoundBoundary(m.Blocks, r.cfg.Topo.Clusters)
+	// Skip any prefix another response already delivered; the remainder must
+	// start exactly at our next height or the response is stale.
+	h := r.ledger.Height()
+	start := -1
+	for i, b := range blocks {
+		if b != nil && b.Height == h+1 {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return
+	}
+	if err := r.applyImportedBlocks(blocks[start:], true); err != nil {
+		return // malformed or forged range: ledger untouched, next tick retries
+	}
+	if m.Height > r.ledger.Height() {
+		// The peer holds more: pull the next range immediately instead of
+		// waiting out a timer tick.
+		r.sendCatchUpReq()
+	}
+	r.scheduleCatchup()
+}
+
+// Bootstrap replays a previously persisted ledger into a freshly initialized
+// replica, modelling a crash-with-disk restart (as opposed to an amnesia
+// restart, which starts empty and recovers over the network). The persisted
+// copy is treated as untrusted, exactly like a peer's: every certificate is
+// re-verified and the hash chain re-derived. It must run on the replica's
+// event loop, after InitEnv and before any message is processed.
+func (r *Replica) Bootstrap(blocks []*ledger.Block) error {
+	return r.applyImportedBlocks(trimToRoundBoundary(blocks, r.cfg.Topo.Clusters), false)
+}
+
+// trimToRoundBoundary cuts a block range back to the last complete round:
+// execution appends exactly z blocks per round, so a ledger must only ever
+// grow in whole rounds to keep height↔round alignment.
+func trimToRoundBoundary(blocks []*ledger.Block, z int) []*ledger.Block {
+	for len(blocks) > 0 {
+		last := blocks[len(blocks)-1]
+		if last != nil && last.Height%uint64(z) == 0 {
+			break
+		}
+		blocks = blocks[:len(blocks)-1]
+	}
+	return blocks
+}
+
+// applyImportedBlocks verifies and executes a certified block range: ledger
+// import (atomic, certificate re-verification inside), store replay,
+// execution bookkeeping, and the local-PBFT fast-forward. notify controls
+// the OnExecute upcall: network catch-up fires it (the replica is executing
+// these batches for the first time), a disk bootstrap does not (it already
+// observed them before the crash).
+func (r *Replica) applyImportedBlocks(blocks []*ledger.Block, notify bool) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if err := r.ledger.Import(blocks, r.verifyImportedBlock); err != nil {
+		return err
+	}
+	maxView := uint64(0)
+	for _, b := range blocks {
+		r.env.Suite().ChargeExec(b.Batch.Len())
+		batch := b.Batch
+		r.store.ApplyBatch(&batch)
+		if int(b.Cluster) == r.myCluster {
+			if c, ok := b.Cert.(*pbft.Certificate); ok && c.View > maxView {
+				maxView = c.View
+			}
+			if !b.Batch.NoOp {
+				r.local.NoteExecuted(b.Batch.Client, b.Batch.Seq)
+			}
+		}
+		if notify && r.cfg.OnExecute != nil {
+			r.cfg.OnExecute(b.Round, b.Cluster, b.Batch)
+		}
+		if b.Batch.NoOp {
+			continue
+		}
+		r.execBatches.Add(1)
+		r.execTxns.Add(uint64(b.Batch.Len()))
+	}
+
+	newRound := r.ledger.Height() / uint64(r.cfg.Topo.Clusters)
+	if newRound > r.executedRound.Load() {
+		r.executedRound.Store(newRound)
+	}
+	if r.localUpTo < newRound {
+		r.localUpTo = newRound
+	}
+	for k := range r.rounds {
+		if k <= newRound {
+			delete(r.rounds, k)
+		}
+	}
+	if r.local.CommittedUpTo() < newRound {
+		// Local round ρ is local PBFT sequence ρ; rebuild the history digest
+		// chain from our own cluster's batch digests so future checkpoints
+		// match the cluster's.
+		r.local.FastForward(newRound, maxView, r.localHistory(newRound))
+	}
+	r.gcRemoteState(newRound)
+	r.feedPrimary()
+	r.rearmDetection()
+	r.tryExecute() // live rounds beyond the imported range may now be complete
+	return nil
+}
+
+// verifyImportedBlock re-verifies one catch-up block before the ledger
+// accepts it: GeoBFT's layout invariants (round and cluster follow from the
+// height) and the commit certificate against the origin cluster's membership
+// — the same Proposition 2.5 check applied to live GlobalShares.
+func (r *Replica) verifyImportedBlock(b *ledger.Block) error {
+	z := uint64(r.cfg.Topo.Clusters)
+	c := int(b.Cluster)
+	if c < 0 || c >= int(z) {
+		return fmt.Errorf("geobft: cluster %d out of range", c)
+	}
+	if want := (b.Height-1)/z + 1; b.Round != want {
+		return fmt.Errorf("geobft: height %d carries round %d, want %d", b.Height, b.Round, want)
+	}
+	if want := int((b.Height - 1) % z); c != want {
+		return fmt.Errorf("geobft: height %d carries cluster %d, want %d", b.Height, c, want)
+	}
+	cert, ok := b.Cert.(*pbft.Certificate)
+	if !ok || cert == nil {
+		return fmt.Errorf("geobft: block %d has no commit certificate", b.Height)
+	}
+	if cert.Seq != b.Round {
+		return fmt.Errorf("geobft: certificate seq %d != round %d", cert.Seq, b.Round)
+	}
+	if cert.Digest != b.BatchDigest {
+		return fmt.Errorf("geobft: certificate digest mismatch at height %d", b.Height)
+	}
+	if !cert.Verify(r.env.Suite(), r.cfg.Topo.ClusterMembers(c), r.quorum()) {
+		return fmt.Errorf("geobft: certificate verification failed at height %d", b.Height)
+	}
+	return nil
+}
+
+// localHistory folds the local PBFT history digest chain over this cluster's
+// blocks up to local sequence seq, matching what pbft.advanceCommitted would
+// have computed had the replica committed them live. The fold is cached and
+// extended incrementally: recovery imports a long chain in many chunks, and
+// restarting from sequence 1 each time would make it quadratic.
+func (r *Replica) localHistory(seq uint64) types.Digest {
+	if seq < r.histSeq {
+		// Should not happen (the fold position only advances); recompute
+		// from scratch rather than serve a stale digest.
+		r.histSeq, r.histDigest = 0, types.Digest{}
+	}
+	z := uint64(r.cfg.Topo.Clusters)
+	for s := r.histSeq + 1; s <= seq; s++ {
+		b := r.ledger.Block((s-1)*z + uint64(r.myCluster) + 1)
+		if b == nil {
+			return r.histDigest
+		}
+		enc := types.NewEncoder(72)
+		enc.Digest(r.histDigest)
+		enc.Digest(b.BatchDigest)
+		r.histDigest = types.Hash(enc.Bytes())
+		r.histSeq = s
+	}
+	return r.histDigest
+}
+
+// certAt returns the commit certificate for (round, cluster): from the
+// in-flight round state, or — for executed rounds — from the ledger, which
+// retains the full chain. It replaces the old bounded retention window, so a
+// lagging peer's DRvc can be answered for any executed round.
+func (r *Replica) certAt(rnd uint64, cluster types.ClusterID) *pbft.Certificate {
+	if rd := r.rounds[rnd]; rd != nil && rd.certs[cluster] != nil {
+		return rd.certs[cluster]
+	}
+	if rnd >= 1 && rnd <= r.executedRound.Load() {
+		h := (rnd-1)*uint64(r.cfg.Topo.Clusters) + uint64(cluster) + 1
+		if b := r.ledger.Block(h); b != nil {
+			if c, ok := b.Cert.(*pbft.Certificate); ok {
+				return c
+			}
+		}
+	}
+	return nil
+}

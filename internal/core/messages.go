@@ -12,6 +12,7 @@
 package core
 
 import (
+	"resilientdb/internal/ledger"
 	"resilientdb/internal/pbft"
 	"resilientdb/internal/types"
 )
@@ -67,6 +68,49 @@ func (*Rvc) MsgType() string { return "geobft/rvc" }
 
 // WireSize implements types.Message.
 func (*Rvc) WireSize() int { return types.ControlBytes }
+
+// CatchUpReq asks a peer for certified ledger blocks starting at NextHeight.
+// A replica sends it when it detects a gap between its executed prefix and
+// the rounds its cluster — or the other clusters — provably certified:
+// after a crash, an amnesia restart, or a long partition (Section 3: a
+// recovering replica copies the ledger from its peers and validates it
+// locally; ROADMAP: "ledger catch-up for late-joining processes").
+type CatchUpReq struct {
+	// NextHeight is the first ledger height the requester is missing
+	// (its current height + 1).
+	NextHeight uint64
+}
+
+func (*CatchUpReq) MsgType() string { return "geobft/catchup-req" }
+
+// WireSize implements types.Message.
+func (*CatchUpReq) WireSize() int { return types.ControlBytes }
+
+// CatchUpResp returns a contiguous, certificate-carrying run of blocks
+// starting at the requested height. The receiver re-verifies every
+// certificate against the origin cluster's membership before importing, so
+// the responder need not be trusted.
+type CatchUpResp struct {
+	Blocks []*ledger.Block
+	// Height is the responder's chain height at reply time, so the requester
+	// knows whether further ranges remain.
+	Height uint64
+}
+
+func (*CatchUpResp) MsgType() string { return "geobft/catchup-resp" }
+
+// WireSize implements types.Message.
+func (c *CatchUpResp) WireSize() int {
+	size := types.HeaderBytes
+	for _, b := range c.Blocks {
+		if b.Cert != nil {
+			size += b.Cert.WireSize()
+		} else {
+			size += b.Batch.WireSize()
+		}
+	}
+	return size
+}
 
 // rvcPayload is the canonical signed content of an Rvc message.
 func rvcPayload(m *Rvc) []byte {

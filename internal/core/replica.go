@@ -110,13 +110,19 @@ type Replica struct {
 	store  *kvstore.Store
 	ledger *ledger.Ledger
 
-	rounds   map[uint64]*round
-	executed map[uint64]*round // retained window for lagging peers
+	rounds map[uint64]*round
 	// executedRound is the last fully executed global round. Atomic: the
 	// worker goroutine is the only writer, but monitoring code reads it while
 	// the fabric is running (like execTxns).
 	executedRound atomic.Uint64
 	localUpTo     uint64 // local PBFT rounds committed (own cluster)
+
+	// ledger catch-up (see catchup.go)
+	catchupTimer   proto.Timer
+	behindSeq      uint64 // highest local seq f+1 peers provably checkpointed
+	evidencedRound uint64 // highest round seen certified by any cluster
+	histSeq        uint64 // localHistory fold position (incremental cache)
+	histDigest     types.Digest
 
 	// primary-side state
 	pending  []types.Batch // client batches awaiting admission to PBFT
@@ -154,7 +160,6 @@ func NewReplica(cfg Config) *Replica {
 		myCluster:    int(c.Topo.ClusterOf(c.Self)),
 		members:      c.Topo.ClusterMembers(int(c.Topo.ClusterOf(c.Self))),
 		rounds:       make(map[uint64]*round),
-		executed:     make(map[uint64]*round),
 		detTimers:    make([]proto.Timer, z),
 		detRound:     make([]uint64, z),
 		detBackoff:   make([]uint, z),
@@ -166,6 +171,11 @@ func NewReplica(cfg Config) *Replica {
 		rvcForwarded: make(map[rvcKey]bool),
 		honoredV:     make(map[types.ClusterID]uint64),
 	}
+	// The store and ledger need no environment; building them here makes the
+	// Ledger/Store handles valid from construction (monitoring code may read
+	// them before the event loop has run InitEnv).
+	r.store = kvstore.New(c.Records)
+	r.ledger = ledger.New()
 	return r
 }
 
@@ -175,8 +185,6 @@ func (r *Replica) Init(env *simnet.Env) { r.InitEnv(proto.WrapSim(env)) }
 // InitEnv wires the replica to any protocol environment.
 func (r *Replica) InitEnv(env proto.Env) {
 	r.env = env
-	r.store = kvstore.New(r.cfg.Records)
-	r.ledger = ledger.New()
 	r.local = pbft.NewReplica(env, pbft.Config{
 		Members:            r.members,
 		Self:               r.cfg.Self,
@@ -186,6 +194,12 @@ func (r *Replica) InitEnv(env proto.Env) {
 	}, pbft.Hooks{
 		Committed:   r.onLocalCommit,
 		ViewChanged: r.onLocalViewChange,
+		Behind: func(seq uint64) {
+			if seq > r.behindSeq {
+				r.behindSeq = seq
+			}
+			r.scheduleCatchup()
+		},
 	})
 }
 
@@ -220,6 +234,12 @@ func (r *Replica) receive(from types.NodeID, msg types.Message, pre bool) {
 		r.onDRvc(from, m)
 	case *Rvc:
 		r.onRvc(from, m, pre)
+	case *CatchUpReq:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onCatchUpReq(from, m)
+	case *CatchUpResp:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onCatchUpResp(from, m)
 	default:
 		if pre {
 			r.local.HandleVerified(from, msg)
@@ -300,10 +320,15 @@ func (r *Replica) feedPrimary() {
 // clusters have advanced to rounds this cluster has no client load for
 // (Section 2.5).
 func (r *Replica) proposeNoOps(target uint64) {
-	if !r.IsPrimary() {
+	// Mid-view-change, SubmitLocal routes to the backup path (supervise and
+	// forward) and assigns no round, so proposing here would spin forever
+	// without progress; the view change's own re-proposal logic — and the
+	// next share received after it installs — covers the gap instead.
+	if !r.IsPrimary() || r.local.InViewChange() {
 		return
 	}
 	for r.assignedRounds() < target {
+		before := r.assignedRounds()
 		if len(r.pending) > 0 {
 			b := r.pending[0]
 			r.pending = r.pending[1:]
@@ -312,7 +337,11 @@ func (r *Replica) proposeNoOps(target uint64) {
 		}
 		r.noopSeq++
 		noop := types.Batch{Client: r.cfg.Self, Seq: r.noopSeq, NoOp: true}
+		noop.PrimeDigest() // cache before the proposal is broadcast
 		r.local.SubmitLocal(noop, true)
+		if r.assignedRounds() == before {
+			return // not accepting proposals (window full or deposed): stop
+		}
 	}
 }
 
@@ -394,6 +423,13 @@ func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare, pre bool) {
 	// A fresh certificate from c resets its failure-detection back-off.
 	r.detBackoff[c] = 0
 	r.rearmDetection()
+
+	// A certified round beyond the next executable one is evidence we may be
+	// missing executed history (crash, amnesia restart, long partition):
+	// supervise the gap and pull certified blocks if it persists.
+	if m.Round > r.executedRound.Load()+1 {
+		r.scheduleCatchup()
+	}
 }
 
 func (r *Replica) setCert(cluster types.ClusterID, rnd uint64, cert *pbft.Certificate) {
@@ -410,6 +446,9 @@ func (r *Replica) setCert(cluster types.ClusterID, rnd uint64, cert *pbft.Certif
 	}
 	rd.certs[cluster] = cert
 	rd.have++
+	if rnd > r.evidencedRound {
+		r.evidencedRound = rnd
+	}
 	r.tryExecute()
 }
 
@@ -424,17 +463,15 @@ func (r *Replica) tryExecute() {
 		}
 		r.executedRound.Store(next)
 		delete(r.rounds, next)
-		// Retain a window of executed rounds so a lagging local replica can
-		// still obtain remote certificates it missed.
-		const retainRounds = 256
-		r.executed[next] = rd
-		delete(r.executed, next-retainRounds)
 		for c := 0; c < r.cfg.Topo.Clusters; c++ {
 			cert := rd.certs[c]
 			batch := cert.Batch
 			r.env.Suite().ChargeExec(batch.Len())
 			r.store.ApplyBatch(&batch)
-			r.ledger.Append(next, types.ClusterID(c), batch, cert.CertDigest())
+			// The certificate rides along on the block: the ledger retains
+			// the full chain and serves it to recovering replicas (catch-up),
+			// replacing the old bounded round-retention window.
+			r.ledger.AppendCertified(next, types.ClusterID(c), batch, cert)
 			if r.cfg.OnExecute != nil {
 				r.cfg.OnExecute(next, types.ClusterID(c), batch)
 			}
@@ -569,18 +606,15 @@ func (r *Replica) onDRvc(from types.NodeID, m *DRvc) {
 		return
 	}
 	// Lines 5–7: answer with the message if we have it (including rounds we
-	// already executed — the sender is simply behind).
-	rd := r.rounds[m.Round]
-	if rd == nil {
-		rd = r.executed[m.Round]
-	}
-	if rd != nil && rd.certs[m.Target] != nil {
+	// already executed — the sender is simply behind; the ledger retains the
+	// full chain, so any executed round can be answered).
+	if cert := r.certAt(m.Round, m.Target); cert != nil {
 		r.env.Suite().ChargeMAC()
-		r.env.Send(from, &GlobalShare{Cluster: m.Target, Round: m.Round, Cert: rd.certs[m.Target]})
+		r.env.Send(from, &GlobalShare{Cluster: m.Target, Round: m.Round, Cert: cert})
 		return
 	}
 	if m.Round <= r.executedRound.Load() {
-		return // executed but no longer retained; nothing useful to add
+		return // executed; nothing useful to add
 	}
 	k := drvcKey{target: m.Target, round: m.Round, v: m.V}
 	r.recordDRvc(k, from)
@@ -719,13 +753,9 @@ func (r *Replica) onLocalViewChange(view uint64, primary types.NodeID) {
 	const maxReshare = 512
 	count := 0
 	for rnd := from; rnd <= r.localUpTo && count < maxReshare; rnd++ {
-		var cert *pbft.Certificate
-		if rd := r.rounds[rnd]; rd != nil && rd.certs[r.myCluster] != nil {
-			cert = rd.certs[r.myCluster]
-		} else if rd := r.executed[rnd]; rd != nil && rd.certs[r.myCluster] != nil {
-			cert = rd.certs[r.myCluster]
-		} else if c := r.local.Certificate(rnd); c != nil {
-			cert = c
+		cert := r.certAt(rnd, types.ClusterID(r.myCluster))
+		if cert == nil {
+			cert = r.local.Certificate(rnd)
 		}
 		if cert != nil {
 			r.shareRound(rnd, cert)
@@ -734,6 +764,11 @@ func (r *Replica) onLocalViewChange(view uint64, primary types.NodeID) {
 	}
 	r.reshareFloor = 0
 	r.feedPrimary()
+	// Rounds other clusters certified while the old primary was failing
+	// still need this cluster's decision; without filling them now, the
+	// cluster stays blocked until the *next* share happens to arrive — which
+	// a client stalled on the blocked round may never produce.
+	r.proposeNoOps(r.evidencedRound)
 }
 
 // String identifies the replica in logs.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"resilientdb/internal/ledger"
 	"resilientdb/internal/pbft"
 	"resilientdb/internal/types"
 )
@@ -66,6 +67,96 @@ func decodeRvc(dec *types.Decoder) types.Message {
 	return m
 }
 
+// minBlockBytes is a conservative lower bound on one encoded block (Height +
+// Round + Cluster + minimal batch + cert flag), bounding decode allocations.
+const minBlockBytes = 8 + 8 + 4 + (4 + 8 + 1 + 4) + 1
+
+// encodeBlockBody appends the wire form of one ledger block. Prev, Hash,
+// BatchDigest and CertDigest are derived fields and do not travel; the
+// certificate's Seq/Digest/Batch duplicate block fields, so only its view
+// and signer set are encoded and the decoder reconstructs the rest.
+func encodeBlockBody(enc *types.Encoder, b *ledger.Block) {
+	enc.U64(b.Height)
+	enc.U64(b.Round)
+	enc.I32(int32(b.Cluster))
+	b.Batch.Encode(enc)
+	cert, _ := b.Cert.(*pbft.Certificate)
+	enc.Bool(cert != nil)
+	if cert != nil {
+		enc.U64(cert.View)
+		enc.NodeIDs(cert.Signers)
+		enc.SigList(cert.Sigs)
+	}
+}
+
+func decodeBlockBody(dec *types.Decoder) *ledger.Block {
+	b := &ledger.Block{}
+	b.Height = dec.U64()
+	b.Round = dec.U64()
+	b.Cluster = types.ClusterID(dec.I32())
+	b.Batch = types.DecodeBatch(dec)
+	b.BatchDigest = b.Batch.Digest() // cached at decode; reflects wire bytes
+	if dec.Bool() {
+		cert := &pbft.Certificate{
+			View:    dec.U64(),
+			Seq:     b.Round,
+			Digest:  b.BatchDigest,
+			Batch:   b.Batch,
+			Signers: dec.NodeIDs(),
+			Sigs:    dec.SigList(),
+		}
+		b.Cert = cert
+		b.CertDigest = cert.CertDigest()
+	}
+	return b
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *CatchUpReq) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.NextHeight)
+}
+
+func decodeCatchUpReq(dec *types.Decoder) types.Message {
+	return &CatchUpReq{NextHeight: dec.U64()}
+}
+
+// EncodeBody implements types.WireMessage.
+func (c *CatchUpResp) EncodeBody(enc *types.Encoder) {
+	enc.U64(c.Height)
+	enc.U32(uint32(len(c.Blocks)))
+	for _, b := range c.Blocks {
+		encodeBlockBody(enc, b)
+	}
+}
+
+func decodeCatchUpResp(dec *types.Decoder) types.Message {
+	m := &CatchUpResp{}
+	m.Height = dec.U64()
+	if n := dec.Count(minBlockBytes); n > 0 {
+		m.Blocks = make([]*ledger.Block, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.Blocks = append(m.Blocks, decodeBlockBody(dec))
+		}
+	}
+	return m
+}
+
+// sampleCatchUpBlocks builds a two-block (one z=2 round) certified range for
+// the registry round-trip suite.
+func sampleCatchUpBlocks() []*ledger.Block {
+	l := ledger.New()
+	for c := types.ClusterID(0); c < 2; c++ {
+		b := types.Batch{Client: types.ClientIDBase + types.NodeID(c), Seq: 1,
+			Txns: []types.Transaction{{Key: uint64(c), Value: 7}}}
+		l.AppendCertified(1, c, b, &pbft.Certificate{
+			View: 1, Seq: 1, Digest: b.Digest(), Batch: b,
+			Signers: []types.NodeID{0, 1, 2},
+			Sigs:    [][]byte{{1}, {2}, {3}},
+		})
+	}
+	return l.Export(1, 0)
+}
+
 func init() {
 	types.RegisterMessage((*GlobalShare)(nil).MsgType(), decodeGlobalShare, func() []types.Message {
 		b := types.Batch{Client: types.ClientIDBase, Seq: 1, Txns: []types.Transaction{{Key: 8, Value: 9}}}
@@ -95,6 +186,15 @@ func init() {
 		return []types.Message{
 			&Rvc{},
 			&Rvc{Target: 0, From: 1, Round: 3, V: 1, Replica: 5, Sig: []byte{0xde, 0xad}},
+		}
+	})
+	types.RegisterMessage((*CatchUpReq)(nil).MsgType(), decodeCatchUpReq, func() []types.Message {
+		return []types.Message{&CatchUpReq{}, &CatchUpReq{NextHeight: 17}}
+	})
+	types.RegisterMessage((*CatchUpResp)(nil).MsgType(), decodeCatchUpResp, func() []types.Message {
+		return []types.Message{
+			&CatchUpResp{},
+			&CatchUpResp{Blocks: sampleCatchUpBlocks(), Height: 8},
 		}
 	})
 }

@@ -99,6 +99,7 @@ func (c *Client) Submit(txns []types.Transaction, timeout time.Duration) error {
 	c.mu.Unlock()
 
 	b := types.Batch{Client: c.id, Seq: seq, Txns: txns}
+	b.PrimeDigest() // cache before the batch is shared with replica pipelines
 	req := &pbft.Request{Batch: b}
 	primary := c.fab.cfg.Topo.ReplicaID(c.cluster, 0)
 	c.fab.tr.Send(c.id, primary, req)

@@ -19,6 +19,7 @@
 package fabric
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"resilientdb/internal/config"
 	"resilientdb/internal/core"
 	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
 	"resilientdb/internal/metrics"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/transport"
@@ -74,12 +76,13 @@ type Config struct {
 // Fabric is a running deployment: this process's replicas plus the shared
 // transport.
 type Fabric struct {
-	cfg   Config
-	tr    transport.Transport
-	dir   *crypto.Directory
-	nodes map[types.NodeID]*Node
-	mu    sync.Mutex
-	nextC int
+	cfg Config
+	tr  transport.Transport
+	dir *crypto.Directory
+
+	mu      sync.Mutex // guards nodes and stopped (per-node restarts mutate the map)
+	nodes   map[types.NodeID]*Node
+	stopped bool
 }
 
 // New builds and starts a fabric deployment (or, with cfg.Local set, this
@@ -124,7 +127,7 @@ func New(cfg Config) *Fabric {
 		f.nodes[id] = newNode(f, id)
 	}
 	for _, n := range f.nodes {
-		n.start()
+		n.start(nil)
 	}
 	return f
 }
@@ -138,32 +141,130 @@ func clientIDs(n int) []types.NodeID {
 }
 
 // Node returns the replica runtime for id.
-func (f *Fabric) Node(id types.NodeID) *Node { return f.nodes[id] }
+func (f *Fabric) Node(id types.NodeID) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[id]
+}
 
 // Replica returns the GeoBFT state machine of a replica, or nil if the
 // replica is not hosted by this process (read access should happen after
-// Stop, or tolerate racing the worker).
+// Stop, or tolerate racing the worker). After StartNode the handle refers to
+// the restarted replica; a handle obtained earlier keeps pointing at the
+// pre-restart state machine, which is useful for reading a crashed node's
+// final ledger.
 func (f *Fabric) Replica(id types.NodeID) *core.Replica {
-	if n := f.nodes[id]; n != nil {
+	if n := f.Node(id); n != nil {
 		return n.replica
 	}
 	return nil
 }
 
-// Stop shuts down every node and the transport.
+// Stop shuts down every node and the transport. It is idempotent and safe to
+// call concurrently with per-node StopNode/StartNode: nodes stopped
+// individually are simply stopped again (a no-op).
 func (f *Fabric) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	nodes := make([]*Node, 0, len(f.nodes))
 	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.Unlock()
+	for _, n := range nodes {
 		n.stop()
 	}
 	f.tr.Close()
 }
 
 // Crash fault-injects a replica: its pipeline halts and all traffic to it
-// is silently dropped, like a crashed machine.
-func (f *Fabric) Crash(id types.NodeID) {
-	if n := f.nodes[id]; n != nil {
-		n.stop()
+// is silently dropped, like a crashed machine. Equivalent to StopNode.
+func (f *Fabric) Crash(id types.NodeID) { f.StopNode(id) }
+
+// StopNode halts one replica's pipeline and detaches its mailbox from the
+// transport, modelling a machine crash: in-flight work is abandoned and all
+// traffic to the node is dropped. The node's final state (ledger, store)
+// stays readable through Replica. Idempotent; unknown ids are a no-op.
+func (f *Fabric) StopNode(id types.NodeID) {
+	f.mu.Lock()
+	n := f.nodes[id]
+	if n == nil {
+		f.mu.Unlock()
+		return
 	}
+	// Detach under the same lock StartNode registers under, so a concurrent
+	// restart can neither double-register the id nor lose its fresh mailbox
+	// to a late Unregister.
+	if !n.detached {
+		n.detached = true
+		f.tr.Unregister(id)
+	}
+	f.mu.Unlock()
+	n.stop()
+}
+
+// StartNode restarts a replica previously halted with StopNode, modelling a
+// machine rejoining the cluster. With keepLedger the new replica bootstraps
+// from the stopped replica's ledger (crash-with-disk: the chain survived,
+// and is re-verified as if it came from an untrusted peer — a chain that
+// fails re-verification is discarded, counted as a verify rejection in
+// Stats, and the node falls back to network recovery); without it the
+// replica starts from nothing (amnesia) and recovers the whole chain from
+// its peers through ledger catch-up. Either way the replica converges to the
+// live height via CatchUpReq/CatchUpResp.
+func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: deployment is stopped")
+	}
+	old := f.nodes[id]
+	if old == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: node %v not hosted here", id)
+	}
+	if !old.detached {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: node %v is still running", id)
+	}
+	f.mu.Unlock()
+	// Let the halted pipeline drain fully before its successor starts, so a
+	// stale worker cannot emit traffic concurrently with the reborn node.
+	old.stop()
+	var blocks []*ledger.Block
+	if keepLedger {
+		blocks = old.replica.Ledger().Export(1, 0)
+	}
+
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: deployment is stopped")
+	}
+	if f.nodes[id] != old {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: node %v was restarted concurrently", id)
+	}
+	n := newNode(f, id) // re-registers id on the transport, under f.mu
+	f.nodes[id] = n
+	f.mu.Unlock()
+
+	var boot func(r *core.Replica)
+	if keepLedger {
+		boot = func(r *core.Replica) {
+			if err := r.Bootstrap(blocks); err != nil {
+				// The preserved chain did not re-verify: surface it instead
+				// of failing silently, and recover over the network.
+				n.drops.VerifyReject.Add(1)
+			}
+		}
+	}
+	n.start(boot)
+	return nil
 }
 
 // Stats returns a snapshot of the deployment's loss counters: transport-level
@@ -172,6 +273,8 @@ func (f *Fabric) Crash(id types.NodeID) {
 // call while the fabric is running.
 func (f *Fabric) Stats() metrics.DropStats {
 	st := f.tr.Stats()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, n := range f.nodes {
 		st.Add(n.drops.Snapshot())
 	}
@@ -195,6 +298,10 @@ type Node struct {
 
 	seen  shareCache // verified-certificate dedup (verify pool only)
 	drops metrics.Drops
+
+	// detached marks the node unregistered from the transport (guarded by
+	// the owning Fabric's mu; see StopNode/StartNode).
+	detached bool
 
 	quit     chan struct{}
 	stopOnce sync.Once
@@ -261,8 +368,14 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 	return n
 }
 
-func (n *Node) start() {
+// start launches the node's pipeline. boot, if non-nil, runs on the worker
+// right after InitEnv and before any inbound message — StartNode uses it to
+// replay a preserved ledger into the fresh state machine.
+func (n *Node) start(boot func(r *core.Replica)) {
 	n.post(func() { n.replica.InitEnv(n.env) })
+	if boot != nil {
+		n.post(func() { boot(n.replica) })
+	}
 
 	// Worker: owns the state machine; the single consumer of workQ.
 	n.wg.Add(1)
@@ -316,6 +429,7 @@ func (n *Node) start() {
 			}
 			seq++
 			b := types.Batch{Client: n.id, Seq: seq, Txns: buf}
+			b.PrimeDigest() // cache before the batch crosses goroutines
 			buf = nil
 			n.post(func() { n.replica.SubmitBatch(b) })
 		}

@@ -3,6 +3,8 @@ package fabricbench
 import (
 	"testing"
 
+	"resilientdb/internal/core"
+	"resilientdb/internal/pbft"
 	"resilientdb/internal/types"
 )
 
@@ -13,6 +15,82 @@ import (
 func BenchmarkCodec(b *testing.B) {
 	for _, c := range CodecCases() {
 		b.Run(c.Name, c.Fn)
+	}
+}
+
+// TestDecodeDigestCached pins the decode-time digest cache: DecodeBatch
+// hashes the consumed wire bytes once, so reading the batch digest after
+// decoding adds zero allocations and zero re-encoding work on top of the
+// decode itself — the digest no longer gets recomputed in the hot-path
+// consumers (preprepare checks, certificate verification, ledger appends).
+func TestDecodeDigestCached(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		msg    types.Message
+		digest func(types.Message) types.Digest
+	}{
+		{"preprepare", SamplePrePrepare(), func(m types.Message) types.Digest {
+			return m.(*pbft.PrePrepare).Batch.Digest()
+		}},
+		{"globalshare", SampleGlobalShare(), func(m types.Message) types.Digest {
+			return m.(*core.GlobalShare).Cert.Batch.Digest()
+		}},
+	} {
+		enc, err := types.EncodeMessage(tc.msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := types.DecodeMessage(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Correctness: the cached digest equals a from-scratch recomputation.
+		var want types.Digest
+		switch m := decoded.(type) {
+		case *pbft.PrePrepare:
+			want = m.Batch.RecomputedDigest()
+		case *core.GlobalShare:
+			want = m.Cert.Batch.RecomputedDigest()
+		}
+		if got := tc.digest(decoded); got != want {
+			t.Fatalf("%s: cached digest %s != recomputed %s", tc.name, got.Short(), want.Short())
+		}
+		// Allocation contract: decode+digest must not allocate beyond decode
+		// alone (the digest is free once decoded).
+		decodeOnly := testing.AllocsPerRun(200, func() {
+			if _, err := types.DecodeMessage(enc); err != nil {
+				panic(err)
+			}
+		})
+		decodePlusDigest := testing.AllocsPerRun(200, func() {
+			m, err := types.DecodeMessage(enc)
+			if err != nil {
+				panic(err)
+			}
+			_ = tc.digest(m)
+		})
+		if decodePlusDigest > decodeOnly {
+			t.Errorf("%s: decode+digest allocates %.1f/op, decode alone %.1f/op; digest must be free after decode",
+				tc.name, decodePlusDigest, decodeOnly)
+		}
+	}
+}
+
+// BenchmarkDecodeAndDigest measures the wire-decode + digest path the verify
+// pool pays per certificate share (run with -benchmem; the digest itself
+// must contribute zero allocations).
+func BenchmarkDecodeAndDigest(b *testing.B) {
+	enc, err := types.EncodeMessage(SampleGlobalShare())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := types.DecodeMessage(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.(*core.GlobalShare).Cert.Batch.Digest()
 	}
 }
 

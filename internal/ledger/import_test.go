@@ -1,0 +1,231 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"resilientdb/internal/types"
+)
+
+// fakeCert satisfies Certificate for ledger-level tests (protocol-level
+// certificate verification is exercised in internal/core and internal/chaos).
+type fakeCert struct{ d types.Digest }
+
+func (f fakeCert) CertDigest() types.Digest { return f.d }
+func (fakeCert) WireSize() int              { return 100 }
+
+// certifiedLedger builds a chain of `rounds` rounds × z clusters with
+// certificates attached, as the GeoBFT execution path would.
+func certifiedLedger(rounds, z int) *Ledger {
+	l := New()
+	for r := 1; r <= rounds; r++ {
+		for c := 0; c < z; c++ {
+			b := batch(c, uint64(r), 3)
+			l.AppendCertified(uint64(r), types.ClusterID(c), b, fakeCert{d: types.Hash([]byte{byte(r), byte(c)})})
+		}
+	}
+	return l
+}
+
+// deepCopyBlocks clones exported blocks so mutations cannot corrupt the
+// source ledger (Export shares pointers with it).
+func deepCopyBlocks(blocks []*Block) []*Block {
+	out := make([]*Block, len(blocks))
+	for i, b := range blocks {
+		nb := *b
+		nb.Batch.Txns = append([]types.Transaction(nil), b.Batch.Txns...)
+		out[i] = &nb
+	}
+	return out
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := certifiedLedger(4, 2)
+	blocks := src.Export(1, 0)
+	if len(blocks) != 8 {
+		t.Fatalf("exported %d blocks, want 8", len(blocks))
+	}
+
+	dst := New()
+	if err := dst.Import(blocks, nil); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if dst.Height() != src.Height() || dst.Head() != src.Head() {
+		t.Fatalf("imported chain differs: height %d/%d head %s/%s",
+			dst.Height(), src.Height(), dst.Head().Short(), src.Head().Short())
+	}
+	if err := dst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental import of a suffix onto an existing prefix.
+	part := New()
+	if err := part.Import(src.Export(1, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Import(src.Export(5, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if part.Head() != src.Head() {
+		t.Fatal("suffix import diverged")
+	}
+
+	// The verify callback sees every block before any mutation.
+	seen := 0
+	if err := New().Import(blocks, func(b *Block) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(blocks) {
+		t.Fatalf("verify callback ran %d times, want %d", seen, len(blocks))
+	}
+}
+
+func TestExportBounds(t *testing.T) {
+	src := certifiedLedger(3, 2)
+	if got := src.Export(7, 0); got != nil {
+		t.Errorf("export past the end returned %d blocks", len(got))
+	}
+	if got := src.Export(0, 0); got != nil {
+		t.Error("export from height 0 must return nil")
+	}
+	if got := src.Export(2, 3); len(got) != 3 {
+		t.Errorf("bounded export returned %d blocks, want 3", len(got))
+	}
+	// Export stops at the first certificate-less block: it cannot be
+	// re-verified by the importer.
+	mixed := New()
+	mixed.AppendCertified(1, 0, batch(0, 1, 2), fakeCert{})
+	mixed.Append(2, 0, batch(0, 2, 2), types.Hash([]byte("digest-only")))
+	if got := mixed.Export(1, 0); len(got) != 1 {
+		t.Errorf("export across a certless block returned %d blocks, want 1", len(got))
+	}
+}
+
+// TestImportRejectsTampered drives every corruption class through Import and
+// requires rejection without mutation.
+func TestImportRejectsTampered(t *testing.T) {
+	src := certifiedLedger(4, 2)
+	cases := []struct {
+		name   string
+		mutate func(blocks []*Block) []*Block
+		verify func(*Block) error
+	}{
+		{"wrong start height", func(bs []*Block) []*Block { return bs[1:] }, nil},
+		{"reordered", func(bs []*Block) []*Block { bs[2], bs[3] = bs[3], bs[2]; return bs }, nil},
+		{"duplicated block", func(bs []*Block) []*Block { return append(bs[:3], bs[2:]...) }, nil},
+		{"nil block", func(bs []*Block) []*Block { bs[4] = nil; return bs }, nil},
+		{"corrupted transaction", func(bs []*Block) []*Block {
+			bs[1].Batch.Txns[0].Value ^= 0xff
+			return bs
+		}, nil},
+		{"corrupted batch digest", func(bs []*Block) []*Block {
+			bs[5].BatchDigest[0] ^= 1
+			return bs
+		}, nil},
+		{"broken prev link", func(bs []*Block) []*Block {
+			bs[3].Prev[0] ^= 1
+			return bs
+		}, nil},
+		{"tampered hash", func(bs []*Block) []*Block {
+			bs[4].Hash[0] ^= 1
+			return bs
+		}, nil},
+		{"certificate rejected", func(bs []*Block) []*Block { return bs },
+			func(b *Block) error {
+				if b.Height == 7 {
+					return errors.New("bad certificate")
+				}
+				return nil
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := New()
+			if err := dst.Import(src.Export(1, 2), nil); err != nil {
+				t.Fatal(err)
+			}
+			h, head := dst.Height(), dst.Head()
+			blocks := tc.mutate(deepCopyBlocks(src.Export(3, 0)))
+			if err := dst.Import(blocks, tc.verify); err == nil {
+				t.Fatal("tampered range accepted")
+			}
+			if dst.Height() != h || dst.Head() != head {
+				t.Fatalf("rejected import mutated the ledger: height %d→%d", h, dst.Height())
+			}
+			if err := dst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// FuzzLedgerImport mutates exported block ranges and asserts the atomicity
+// contract: a rejected import leaves the ledger byte-identical, an accepted
+// one leaves it verifiable.
+func FuzzLedgerImport(f *testing.F) {
+	f.Add([]byte{})                 // unmutated: must import cleanly
+	f.Add([]byte{0, 0, 1})          // height bump
+	f.Add([]byte{1, 3, 0xff})       // batch corruption
+	f.Add([]byte{2, 7, 0})          // drop a block
+	f.Add([]byte{3, 8, 0, 0, 8, 0}) // double swap
+	f.Add([]byte{5, 4, 7, 0, 6, 1}) // digest + prev corruption
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := certifiedLedger(4, 2)
+		blocks := deepCopyBlocks(src.Export(3, 0))
+		for i := 0; i+2 < len(data) && i < 30; i += 3 {
+			idx := int(data[i]) % len(blocks)
+			val := data[i+2]
+			if blocks[idx] == nil {
+				continue
+			}
+			switch data[i+1] % 9 {
+			case 0:
+				blocks[idx].Height += uint64(val)
+			case 1:
+				blocks[idx].Round += uint64(val)
+			case 2:
+				blocks[idx].Cluster += types.ClusterID(val)
+			case 3:
+				if len(blocks[idx].Batch.Txns) > 0 {
+					blocks[idx].Batch.Txns[0].Value ^= uint64(val)
+				}
+			case 4:
+				blocks[idx].BatchDigest[0] ^= val
+			case 5:
+				blocks[idx].Prev[0] ^= val
+			case 6:
+				blocks[idx].Hash[0] ^= val
+			case 7:
+				blocks = append(blocks[:idx], blocks[idx+1:]...)
+				if len(blocks) == 0 {
+					return
+				}
+			case 8:
+				if idx+1 < len(blocks) {
+					blocks[idx], blocks[idx+1] = blocks[idx+1], blocks[idx]
+				}
+			}
+		}
+
+		dst := New()
+		if err := dst.Import(src.Export(1, 2), nil); err != nil {
+			t.Fatal(err)
+		}
+		h, head := dst.Height(), dst.Head()
+		err := dst.Import(blocks, func(b *Block) error {
+			if b.Cert == nil {
+				return fmt.Errorf("no certificate")
+			}
+			return nil
+		})
+		if err != nil {
+			if dst.Height() != h || dst.Head() != head {
+				t.Fatalf("rejected import mutated the ledger (height %d→%d)", h, dst.Height())
+			}
+		}
+		if err := dst.Verify(); err != nil {
+			t.Fatalf("ledger unverifiable after import (err=%v): %v", err, err)
+		}
+	})
+}

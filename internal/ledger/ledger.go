@@ -12,6 +12,18 @@ import (
 	"resilientdb/internal/types"
 )
 
+// Certificate is the consensus evidence attached to a block: proof that the
+// block's batch was agreed at its round. The concrete type is the protocol's
+// commit certificate (pbft.Certificate); the ledger treats it opaquely so it
+// can sit below every protocol package. Catch-up re-verifies certificates
+// through the verify callback of Import, supplied by the protocol layer.
+type Certificate interface {
+	// CertDigest commits to the certificate contents.
+	CertDigest() types.Digest
+	// WireSize is the modelled serialized size (types.Message convention).
+	WireSize() int
+}
+
 // Block is one entry of the chain. In GeoBFT each round ρ appends z blocks,
 // one per cluster, in the deterministic execution order.
 type Block struct {
@@ -27,9 +39,15 @@ type Block struct {
 	BatchDigest types.Digest
 	// CertDigest commits to the commit certificate proving consensus.
 	CertDigest types.Digest
+	// Cert is the commit certificate itself, retained so the chain can be
+	// served to recovering replicas (Export/Import), which re-verify it.
+	// Blocks appended with Append (digest only) carry no certificate and
+	// cannot be exported for catch-up.
+	Cert Certificate
 	// Prev is the hash of the previous block (zero for the first block).
 	Prev types.Digest
-	// Hash is the block's own hash over all fields above.
+	// Hash is the block's own hash over all fields above (excluding the
+	// certificate — see blockHash).
 	Hash types.Digest
 }
 
@@ -63,6 +81,17 @@ func New() *Ledger { return &Ledger{} }
 // Append adds the next block for (round, cluster, batch, certDigest) and
 // returns it.
 func (l *Ledger) Append(round uint64, cluster types.ClusterID, batch types.Batch, certDigest types.Digest) *Block {
+	return l.append(round, cluster, batch, certDigest, nil)
+}
+
+// AppendCertified adds the next block together with the commit certificate
+// proving consensus on it, so the chain can later serve catch-up requests
+// from recovering replicas.
+func (l *Ledger) AppendCertified(round uint64, cluster types.ClusterID, batch types.Batch, cert Certificate) *Block {
+	return l.append(round, cluster, batch, cert.CertDigest(), cert)
+}
+
+func (l *Ledger) append(round uint64, cluster types.ClusterID, batch types.Batch, certDigest types.Digest, cert Certificate) *Block {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := &Block{
@@ -72,6 +101,7 @@ func (l *Ledger) Append(round uint64, cluster types.ClusterID, batch types.Batch
 		Batch:       batch,
 		BatchDigest: batch.Digest(),
 		CertDigest:  certDigest,
+		Cert:        cert,
 	}
 	if len(l.blocks) > 0 {
 		b.Prev = l.blocks[len(l.blocks)-1].Hash
@@ -122,7 +152,9 @@ func (l *Ledger) Verify() error {
 		if b.Prev != prev {
 			return fmt.Errorf("ledger: block %d has broken prev link", b.Height)
 		}
-		if got := b.Batch.Digest(); got != b.BatchDigest {
+		// RecomputedDigest bypasses the decode-time digest cache: tamper
+		// detection must hash the fields as they are now, not as received.
+		if got := b.Batch.RecomputedDigest(); got != b.BatchDigest {
 			return fmt.Errorf("ledger: block %d batch digest mismatch", b.Height)
 		}
 		if got := blockHash(b); got != b.Hash {
@@ -130,6 +162,89 @@ func (l *Ledger) Verify() error {
 		}
 		prev = b.Hash
 	}
+	return nil
+}
+
+// Export returns up to max blocks starting at height from (1-based), for
+// serving a catch-up request. max <= 0 exports the whole tail. It returns nil
+// when from is past the chain's end, and stops early at the first block that
+// carries no certificate (such blocks cannot be re-verified by the importer).
+// Blocks are immutable once appended, so sharing the pointers is safe.
+func (l *Ledger) Export(from uint64, max int) []*Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if from < 1 || from > uint64(len(l.blocks)) {
+		return nil
+	}
+	end := uint64(len(l.blocks))
+	if max > 0 && from-1+uint64(max) < end {
+		end = from - 1 + uint64(max)
+	}
+	out := make([]*Block, 0, end-from+1)
+	for _, b := range l.blocks[from-1 : end] {
+		if b.Cert == nil {
+			break
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Import verifies blocks as a contiguous, hash-chained extension of the chain
+// and appends them atomically: on any error the ledger is unchanged. Each
+// block's height must continue the chain, its batch must hash to BatchDigest
+// (recomputed, so corruption is caught), and its Prev/Hash fields — when set
+// by the exporter; wire-decoded blocks leave them zero — must match the
+// recomputed linkage. verify, if non-nil, runs before any mutation and is
+// where the protocol layer re-verifies the commit certificate against the
+// origin cluster's membership (Section 3: a recovering replica copies the
+// ledger from untrusted peers and validates it locally).
+func (l *Ledger) Import(blocks []*Block, verify func(*Block) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := types.ZeroDigest
+	if n := len(l.blocks); n > 0 {
+		prev = l.blocks[n-1].Hash
+	}
+	base := uint64(len(l.blocks))
+	staged := make([]*Block, 0, len(blocks))
+	for i, b := range blocks {
+		if b == nil {
+			return fmt.Errorf("ledger: import: nil block at index %d", i)
+		}
+		want := base + uint64(i) + 1
+		if b.Height != want {
+			return fmt.Errorf("ledger: import: block %d has height %d, want %d", i, b.Height, want)
+		}
+		if got := b.Batch.RecomputedDigest(); got != b.BatchDigest {
+			return fmt.Errorf("ledger: import: block %d batch digest mismatch", want)
+		}
+		if !b.Prev.IsZero() && b.Prev != prev {
+			return fmt.Errorf("ledger: import: block %d breaks the hash chain", want)
+		}
+		if verify != nil {
+			if err := verify(b); err != nil {
+				return fmt.Errorf("ledger: import: block %d: %w", want, err)
+			}
+		}
+		// Stage a copy with the derived fields completed; the caller's blocks
+		// (possibly shared with another ledger) are never mutated.
+		nb := *b
+		nb.Prev = prev
+		nb.Hash = blockHash(&nb)
+		if !b.Hash.IsZero() && b.Hash != nb.Hash {
+			return fmt.Errorf("ledger: import: block %d hash mismatch", want)
+		}
+		if nb.Cert != nil {
+			nb.CertDigest = nb.Cert.CertDigest()
+		}
+		staged = append(staged, &nb)
+		prev = nb.Hash
+	}
+	l.blocks = append(l.blocks, staged...)
 	return nil
 }
 

@@ -62,7 +62,11 @@ func (c *Certificate) Verify(suite *crypto.Suite, members []types.NodeID, quorum
 }
 
 // CertDigest returns a digest committing to the certificate (used by ledger
-// blocks).
+// blocks and the verify pool's share-dedup key). It must not assume the
+// certificate is well-formed: wire-decoded certificates can carry mismatched
+// signer/signature counts (they fail Verify, but CertDigest may run first —
+// e.g. while computing a dedup key), so a missing signature hashes as empty
+// instead of panicking.
 func (c *Certificate) CertDigest() types.Digest {
 	enc := types.NewEncoder(128 + 16*len(c.Signers))
 	enc.String("pbft/CERT")
@@ -71,7 +75,11 @@ func (c *Certificate) CertDigest() types.Digest {
 	enc.Digest(c.Digest)
 	for i, s := range c.Signers {
 		enc.I32(int32(s))
-		enc.BytesN(c.Sigs[i])
+		if i < len(c.Sigs) {
+			enc.BytesN(c.Sigs[i])
+		} else {
+			enc.BytesN(nil)
+		}
 	}
 	return types.Hash(enc.Bytes())
 }

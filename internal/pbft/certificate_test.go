@@ -109,6 +109,21 @@ func TestCertDigestCommitsToSignerSet(t *testing.T) {
 	}
 }
 
+// TestCertDigestMalformed pins the panic-free contract: a wire-decoded
+// certificate can claim more signers than it carries signatures (it fails
+// Verify, but CertDigest may run first, e.g. for the verify pool's dedup
+// key), and CertDigest must survive it.
+func TestCertDigestMalformed(t *testing.T) {
+	c := &Certificate{
+		Seq:     3,
+		Signers: []types.NodeID{0, 1, 2},
+		Sigs:    [][]byte{{0xaa}}, // fewer sigs than signers
+	}
+	if c.CertDigest() == c.CertDigest() && c.Verify(nil, nil, 1) {
+		t.Error("malformed certificate must not verify")
+	}
+}
+
 func TestCertificateWireSizeMatchesPaper(t *testing.T) {
 	// ≈6.4 kB at batch 100 with 7 commit signatures (paper Section 4).
 	b := types.Batch{Txns: make([]types.Transaction, 100)}

@@ -58,6 +58,11 @@ type Hooks struct {
 	Committed func(seq uint64, cert *Certificate)
 	// ViewChanged fires after a new view is installed.
 	ViewChanged func(view uint64, primary types.NodeID)
+	// Behind fires when f+1 members checkpoint a sequence this replica has
+	// not reached — evidence it fell behind its cluster. A composing protocol
+	// (GeoBFT) uses it to trigger ledger catch-up; the replica's own
+	// window-bounded certificate catch-up runs regardless.
+	Behind func(seq uint64)
 }
 
 // voteKey identifies the proposal a prepare/commit vote supports. Votes are
@@ -537,7 +542,15 @@ func (r *Replica) onCheckpoint(from types.NodeID, m *Checkpoint) {
 		r.stabilize(m.Seq, matching)
 	} else if m.Seq > r.committedUpTo+r.cfg.CheckpointInterval && len(set) >= r.cfg.F+1 {
 		// f+1 replicas are checkpointing ahead of us: we fell behind.
+		r.noteBehind(m.Seq)
 		r.requestCatchup()
+	}
+}
+
+// noteBehind reports evidence of lagging to the composing protocol.
+func (r *Replica) noteBehind(seq uint64) {
+	if r.hooks.Behind != nil {
+		r.hooks.Behind(seq)
 	}
 }
 
@@ -548,6 +561,7 @@ func (r *Replica) stabilize(seq uint64, proof []*Checkpoint) {
 	}
 	if seq > r.committedUpTo {
 		// Quorum is ahead of us; remember the proof after catch-up.
+		r.noteBehind(seq)
 		r.requestCatchup()
 		return
 	}
@@ -636,6 +650,60 @@ func (r *Replica) AdoptCertificate(cert *Certificate) {
 	e.cert = cert
 	r.certLog[cert.Seq] = cert
 	r.advanceCommitted()
+}
+
+// FastForward installs externally verified state into a recovering replica:
+// the caller (GeoBFT's ledger catch-up) has already validated, through commit
+// certificates, that every sequence up to seq is decided, with the history
+// digest chain ending at hist and view proven installed by a certificate. The
+// replica jumps past the decided prefix — committedUpTo, nextSeq and the
+// stable low-water mark all move to seq — and resumes normal operation from
+// there. The stable-checkpoint proof is cleared (this replica never collected
+// one for seq); it regains a provable checkpoint at the next checkpoint
+// interval, and until then its view-change messages will not validate at
+// peers — the standard recovery window.
+func (r *Replica) FastForward(seq, view uint64, hist types.Digest) {
+	if seq <= r.committedUpTo {
+		return
+	}
+	r.committedUpTo = seq
+	if r.nextSeq < seq {
+		r.nextSeq = seq
+	}
+	if r.lowWater < seq {
+		r.lowWater = seq
+		r.stableProof = nil
+	}
+	r.history = map[uint64]types.Digest{seq: hist}
+	for s := range r.entries {
+		if s <= seq {
+			delete(r.entries, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s <= seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	if view > r.view {
+		// A commit certificate at this view proves n−f replicas installed it,
+		// so adopting it cannot fork; without this the recovering replica
+		// would wait forever for a NewView that was sent before it rejoined.
+		r.view = view
+		r.targetView = view
+		r.inViewChange = false
+	}
+	r.vcAttempts = 0
+	r.rearmProgressTimer()
+}
+
+// NoteExecuted raises the duplicate-suppression high-water mark for a client
+// whose batch was observed committed through catch-up, so a recovered
+// primary does not re-propose a retransmission of an already-executed batch.
+func (r *Replica) NoteExecuted(client types.NodeID, seq uint64) {
+	if seq > r.clientHWM[client] {
+		r.clientHWM[client] = seq
+	}
 }
 
 // --- progress timer -------------------------------------------------------

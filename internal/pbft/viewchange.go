@@ -256,6 +256,7 @@ func computeNewViewProposals(v uint64, vcs []*ViewChange) []*PrePrepare {
 			pp.Digest, pp.Batch = chosen.Digest, chosen.Batch
 		} else {
 			pp.Batch = types.Batch{NoOp: true}
+			pp.Batch.PrimeDigest() // cache before the NewView is shared
 			pp.Digest = pp.Batch.Digest()
 		}
 		out = append(out, pp)

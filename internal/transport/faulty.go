@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/metrics"
+	"resilientdb/internal/types"
+)
+
+// Faulty wraps any Transport with deterministic, seeded fault injection: it
+// drops, delays and partitions traffic before handing it to the inner
+// transport. It composes over Mem and TCP alike, so the same chaos scenario
+// runs in-process or across sockets. All injected behaviour is driven by the
+// seed and the configured predicates — rerunning a scenario with the same
+// seed draws the same drop decisions (message arrival order still depends on
+// goroutine scheduling, which the consensus protocols tolerate by design).
+//
+// Faults apply on the send side only; Register/Unregister/Stats/Close pass
+// through. Configuration methods are safe to call while traffic flows.
+type Faulty struct {
+	inner Transport
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prob   float64                                             // uniform drop probability
+	drop   func(from, to types.NodeID, msg types.Message) bool // custom predicate
+	delay  func(from, to types.NodeID) time.Duration
+	group  map[types.NodeID]int // partition group per node; nil = no partition
+	closed bool
+	timers sync.WaitGroup
+
+	cut atomic.Uint64 // messages dropped by injection
+}
+
+// NewFaulty wraps inner with a fault injector seeded by seed.
+func NewFaulty(inner Transport, seed int64) *Faulty {
+	return &Faulty{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDropRate drops each message independently with probability p (0 ≤ p ≤ 1),
+// drawn from the seeded source.
+func (f *Faulty) SetDropRate(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prob = p
+}
+
+// SetDrop installs a custom drop predicate (nil clears it). It runs under the
+// injector's lock; keep it cheap and deterministic.
+func (f *Faulty) SetDrop(fn func(from, to types.NodeID, msg types.Message) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drop = fn
+}
+
+// SetDelay installs a one-way delay function (nil clears it).
+func (f *Faulty) SetDelay(fn func(from, to types.NodeID) time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = fn
+}
+
+// Partition splits the listed nodes into disjoint groups; messages between
+// nodes of different groups are dropped. Nodes not listed in any group keep
+// communicating with everyone (so a scenario can cut clusters apart without
+// enumerating clients). It replaces any previous partition.
+func (f *Faulty) Partition(groups ...[]types.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group = make(map[types.NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			f.group[id] = gi
+		}
+	}
+}
+
+// Heal removes the partition. Drop rate, predicate and delays are unaffected.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.group = nil
+}
+
+// Cut returns the number of messages the injector has dropped.
+func (f *Faulty) Cut() uint64 { return f.cut.Load() }
+
+// Register implements Transport.
+func (f *Faulty) Register(id types.NodeID) <-chan Envelope { return f.inner.Register(id) }
+
+// Unregister implements Transport.
+func (f *Faulty) Unregister(id types.NodeID) { f.inner.Unregister(id) }
+
+// Stats implements Transport (the inner transport's counters; injected drops
+// are intentional and reported separately via Cut).
+func (f *Faulty) Stats() metrics.DropStats { return f.inner.Stats() }
+
+// Send implements Transport, applying the configured faults.
+func (f *Faulty) Send(from, to types.NodeID, msg types.Message) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if f.group != nil {
+		ga, oka := f.group[from]
+		gb, okb := f.group[to]
+		if oka && okb && ga != gb {
+			f.mu.Unlock()
+			f.cut.Add(1)
+			return
+		}
+	}
+	if f.prob > 0 && f.rng.Float64() < f.prob {
+		f.mu.Unlock()
+		f.cut.Add(1)
+		return
+	}
+	if f.drop != nil && f.drop(from, to, msg) {
+		f.mu.Unlock()
+		f.cut.Add(1)
+		return
+	}
+	var d time.Duration
+	if f.delay != nil {
+		d = f.delay(from, to)
+	}
+	if d > 0 {
+		// Add under the lock that guards closed, so Close's Wait is always
+		// ordered after it (racing them panics).
+		f.timers.Add(1)
+	}
+	f.mu.Unlock()
+	if d <= 0 {
+		f.inner.Send(from, to, msg)
+		return
+	}
+	time.AfterFunc(d, func() {
+		defer f.timers.Done()
+		f.inner.Send(from, to, msg)
+	})
+}
+
+// Close implements Transport.
+func (f *Faulty) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.timers.Wait()
+	f.inner.Close()
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+func recvN(t *testing.T, box <-chan Envelope, want int, timeout time.Duration) int {
+	t.Helper()
+	got := 0
+	deadline := time.After(timeout)
+	for got < want {
+		select {
+		case <-box:
+			got++
+		case <-deadline:
+			return got
+		}
+	}
+	// Drain any stragglers that arrive immediately.
+	for {
+		select {
+		case <-box:
+			got++
+		case <-time.After(50 * time.Millisecond):
+			return got
+		}
+	}
+}
+
+func TestFaultyPartitionAndHeal(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	defer f.Close()
+	boxes := map[types.NodeID]<-chan Envelope{}
+	for id := types.NodeID(1); id <= 5; id++ {
+		boxes[id] = f.Register(id)
+	}
+	f.Partition([]types.NodeID{1, 2}, []types.NodeID{3, 4})
+
+	f.Send(1, 2, &msg{n: 1}) // same group: delivered
+	f.Send(1, 3, &msg{n: 2}) // cross-group: cut
+	f.Send(3, 2, &msg{n: 3}) // cross-group: cut
+	f.Send(1, 5, &msg{n: 4}) // 5 is unlisted: delivered
+	f.Send(5, 4, &msg{n: 5}) // unlisted sender: delivered
+
+	if got := recvN(t, boxes[2], 1, time.Second); got != 1 {
+		t.Errorf("same-group delivery: got %d", got)
+	}
+	if got := recvN(t, boxes[3], 0, 100*time.Millisecond); got != 0 {
+		t.Errorf("cross-group message delivered")
+	}
+	if got := recvN(t, boxes[5], 1, time.Second); got != 1 {
+		t.Errorf("unlisted destination: got %d", got)
+	}
+	if got := recvN(t, boxes[4], 1, time.Second); got != 1 {
+		t.Errorf("unlisted sender: got %d", got)
+	}
+	if f.Cut() != 2 {
+		t.Errorf("cut = %d, want 2", f.Cut())
+	}
+
+	f.Heal()
+	f.Send(1, 3, &msg{n: 6})
+	if got := recvN(t, boxes[3], 1, time.Second); got != 1 {
+		t.Error("no delivery after heal")
+	}
+}
+
+// TestFaultyDropRateDeterminism pins the seeded determinism: the same seed
+// and send sequence draw the same drop decisions.
+func TestFaultyDropRateDeterminism(t *testing.T) {
+	run := func(seed int64) (delivered int, cut uint64) {
+		f := NewFaulty(NewMem(), seed)
+		defer f.Close()
+		box := f.Register(1)
+		f.Register(2)
+		f.SetDropRate(0.5)
+		for i := 0; i < 200; i++ {
+			f.Send(2, 1, &msg{n: i})
+		}
+		return recvN(t, box, 200, 200*time.Millisecond), f.Cut()
+	}
+	d1, c1 := run(7)
+	d2, c2 := run(7)
+	d3, c3 := run(8)
+	if d1 != d2 || c1 != c2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", d1, c1, d2, c2)
+	}
+	if d1+int(c1) != 200 {
+		t.Errorf("delivered %d + cut %d != 200", d1, c1)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Errorf("drop rate 0.5 delivered %d/200", d1)
+	}
+	_ = d3
+	if c3 == c1 {
+		t.Logf("different seeds drew the same cut count (%d); unlikely but legal", c1)
+	}
+}
+
+func TestFaultyCustomDropAndDelay(t *testing.T) {
+	f := NewFaulty(NewMem(), 3)
+	defer f.Close()
+	box := f.Register(1)
+	f.Register(2)
+	f.Register(3)
+	f.SetDrop(func(from, to types.NodeID, m types.Message) bool { return from == 3 })
+	f.SetDelay(func(from, to types.NodeID) time.Duration {
+		if from == 2 {
+			return 60 * time.Millisecond
+		}
+		return 0
+	})
+	start := time.Now()
+	f.Send(3, 1, &msg{n: 1}) // predicate: dropped
+	f.Send(2, 1, &msg{n: 2}) // delayed
+	select {
+	case env := <-box:
+		if env.From != 2 {
+			t.Fatalf("got message from %v", env.From)
+		}
+		if d := time.Since(start); d < 50*time.Millisecond {
+			t.Errorf("delayed message arrived after %v", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+	if f.Cut() != 1 {
+		t.Errorf("cut = %d, want 1", f.Cut())
+	}
+}

@@ -111,6 +111,17 @@ func (t *TCP) Register(id types.NodeID) <-chan Envelope {
 	return box.ch
 }
 
+// Unregister implements Transport.
+func (t *TCP) Unregister(id types.NodeID) {
+	t.mu.Lock()
+	box := t.boxes[id]
+	delete(t.boxes, id)
+	t.mu.Unlock()
+	if box != nil {
+		box.close()
+	}
+}
+
 // Stats implements Transport.
 func (t *TCP) Stats() metrics.DropStats { return t.drops.Snapshot() }
 

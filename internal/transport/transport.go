@@ -24,8 +24,13 @@ type Envelope struct {
 // Transport delivers messages between registered nodes.
 type Transport interface {
 	// Register creates the mailbox for a node and returns its receive
-	// channel. Each node must register exactly once.
+	// channel. A node may be registered at most once at a time; after
+	// Unregister the same id may register again (a restarted node).
 	Register(id types.NodeID) <-chan Envelope
+	// Unregister removes and closes a node's mailbox: traffic to it is
+	// silently dropped from then on, like a crashed machine's. Unknown ids
+	// are a no-op.
+	Unregister(id types.NodeID)
 	// Send delivers msg from one node to another. Sends to unknown nodes
 	// are dropped.
 	Send(from, to types.NodeID, msg types.Message)
@@ -106,6 +111,17 @@ func (m *Mem) Register(id types.NodeID) <-chan Envelope {
 	box := newMailbox(&m.drops)
 	m.boxes[id] = box
 	return box.ch
+}
+
+// Unregister implements Transport.
+func (m *Mem) Unregister(id types.NodeID) {
+	m.mu.Lock()
+	box := m.boxes[id]
+	delete(m.boxes, id)
+	m.mu.Unlock()
+	if box != nil {
+		box.close()
+	}
 }
 
 // Stats implements Transport.

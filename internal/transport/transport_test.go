@@ -108,6 +108,30 @@ func conformance(t *testing.T, name string, mk func(t *testing.T) Transport) {
 		}
 	})
 
+	t.Run(name+"/UnregisterDropsThenReRegisters", func(t *testing.T) {
+		tr := mk(t)
+		defer tr.Close()
+		box1 := tr.Register(1)
+		tr.Register(2)
+		tr.Unregister(1)
+		if _, ok := <-box1; ok {
+			t.Error("unregistered mailbox delivered a message")
+		}
+		tr.Send(2, 1, &msg{n: 1}) // dropped, no panic
+		tr.Unregister(1)          // idempotent
+		tr.Unregister(99)         // unknown: no-op
+		box2 := tr.Register(1)    // a restarted node re-registers
+		tr.Send(2, 1, &msg{n: 9})
+		select {
+		case env := <-box2:
+			if env.Msg.(*msg).n != 9 {
+				t.Errorf("got %+v", env)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("no delivery after re-registration")
+		}
+	})
+
 	t.Run(name+"/DuplicateRegistrationPanics", func(t *testing.T) {
 		tr := mk(t)
 		defer tr.Close()
@@ -154,6 +178,8 @@ func setLatency(tr Transport, fn func(from, to types.NodeID) time.Duration) {
 		impl.Latency = fn
 	case *TCP:
 		impl.Latency = fn
+	case *Faulty:
+		impl.SetDelay(fn)
 	}
 }
 
@@ -166,6 +192,9 @@ func TestConformance(t *testing.T) {
 		}
 		return tr
 	})
+	// A fault injector with no faults configured must be a transparent
+	// Transport: the whole contract holds through the wrapper.
+	conformance(t, "FaultyMem", func(t *testing.T) Transport { return NewFaulty(NewMem(), 42) })
 }
 
 // newTCPPair builds two TCP transports whose address books point node 1 at

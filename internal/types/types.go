@@ -101,6 +101,15 @@ type Batch struct {
 	Txns   []Transaction
 	// NoOp marks a primary-proposed empty round (Section 2.5).
 	NoOp bool
+
+	// digest memoizes the canonical digest; hasDigest marks it valid. The
+	// cache is written only while the batch is still private to a single
+	// goroutine — at wire-decode time (DecodeBatch) or via an explicit
+	// PrimeDigest before the batch is shared. Digest never memoizes lazily:
+	// messages travel by pointer through the in-process transport, and a
+	// lazy write would race between nodes' verify pools.
+	digest    Digest
+	hasDigest bool
 }
 
 // Encode appends the canonical binary form of b to enc.
@@ -115,9 +124,14 @@ func (b *Batch) Encode(enc *Encoder) {
 	}
 }
 
-// DecodeBatch reads a Batch previously written with Encode.
+// DecodeBatch reads a Batch previously written with Encode. The batch's
+// canonical digest is computed directly over the consumed wire bytes (they
+// are the canonical encoding) and cached, so the hot-path consumers —
+// preprepare digest checks, certificate verification, ledger appends — never
+// re-encode the batch just to hash it.
 func DecodeBatch(dec *Decoder) Batch {
 	var b Batch
+	mark := dec.off
 	b.Client = NodeID(dec.I32())
 	b.Seq = dec.U64()
 	b.NoOp = dec.Bool()
@@ -128,11 +142,40 @@ func DecodeBatch(dec *Decoder) Batch {
 			b.Txns[i].Value = dec.U64()
 		}
 	}
+	if dec.err == nil {
+		b.digest = Hash(dec.buf[mark:dec.off])
+		b.hasDigest = true
+	}
 	return b
 }
 
-// Digest returns the canonical digest of the batch contents.
+// Digest returns the canonical digest of the batch contents: the cached
+// decode-time digest when present, a fresh computation otherwise. It never
+// writes the cache (see the field comment on Batch).
 func (b *Batch) Digest() Digest {
+	if b.hasDigest {
+		return b.digest
+	}
+	return b.computeDigest()
+}
+
+// PrimeDigest computes and caches the batch digest. Call it exactly once,
+// after the batch contents are final and before the batch (or a message
+// embedding it) is shared with other goroutines.
+func (b *Batch) PrimeDigest() {
+	if !b.hasDigest {
+		b.digest = b.computeDigest()
+		b.hasDigest = true
+	}
+}
+
+// RecomputedDigest hashes the batch's current contents, bypassing the cache.
+// Integrity checks over data that may have been mutated after decoding — the
+// ledger's tamper detection — must use it: the cached digest reflects the
+// bytes as received, not the fields as they are now.
+func (b *Batch) RecomputedDigest() Digest { return b.computeDigest() }
+
+func (b *Batch) computeDigest() Digest {
 	var enc Encoder
 	b.Encode(&enc)
 	return Hash(enc.Bytes())

@@ -211,6 +211,20 @@ func (db *DB) CrashReplica(cluster, replica int) {
 	db.fab.Crash(db.topo.ReplicaID(cluster, replica))
 }
 
+// StopReplica halts one replica, like CrashReplica (machine crash: pipeline
+// halts, traffic to it is dropped).
+func (db *DB) StopReplica(cluster, replica int) {
+	db.fab.StopNode(db.topo.ReplicaID(cluster, replica))
+}
+
+// StartReplica restarts a stopped replica. With keepLedger it bootstraps
+// from the crashed replica's retained ledger (re-verified block by block);
+// without it the replica restarts with amnesia. Either way it converges to
+// the cluster's live height through ledger catch-up.
+func (db *DB) StartReplica(cluster, replica int, keepLedger bool) error {
+	return db.fab.StartNode(db.topo.ReplicaID(cluster, replica), keepLedger)
+}
+
 // Topology reports (z, n, f).
 func (db *DB) Topology() (clusters, perCluster, f int) {
 	return db.topo.Clusters, db.topo.PerCluster, db.topo.F()
