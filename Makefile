@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz bench chaos
+.PHONY: check build test race vet fmt fuzz bench chaos docs-check
 
 check: vet race
 
@@ -21,11 +21,20 @@ vet:
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"
 
-# Short fuzz pass over the wire codec (decode must never panic) and the
-# ledger importer (rejected ranges must leave the chain untouched).
+# Documentation gate: formatting, vet, and a doc-comment lint over the
+# packages whose godoc is the operations/API reference (see ARCHITECTURE.md).
+docs-check: vet
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
+	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos .
+
+# Short fuzz pass over the wire codec (decode must never panic), the ledger
+# importer (rejected ranges must leave the chain untouched), and block-store
+# recovery (corrupt/torn segment files must yield a clean prefix or a clean
+# error — never a panic, never an unverified block).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/types/
 	$(GO) test -run '^$$' -fuzz FuzzLedgerImport -fuzztime 30s ./internal/ledger/
+	$(GO) test -run '^$$' -fuzz FuzzDiskRecovery -fuzztime 30s ./internal/ledger/disk/
 
 # Seeded fault-injection scenario suite (crash-primary, crash-remote-primary,
 # partition-heal, restart-and-catch-up), race-instrumented. See README
@@ -35,6 +44,10 @@ chaos:
 
 # Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
 # serial vs verify pool) plus codec micro-benchmarks; writes BENCH_PR2.json
-# with txn/s, allocs/op and drop counts. See README "Performance".
+# with txn/s, allocs/op and drop counts. See README "Performance" for how to
+# read the numbers (especially on 1-core hosts). Durability micro-benchmarks
+# (ledger append under each fsync policy, disk bootstrap) live in
+# ./internal/ledger/disk:
+#   go test -run '^$' -bench . ./internal/ledger/disk/
 bench:
 	$(GO) run ./cmd/fabricbench -out BENCH_PR2.json

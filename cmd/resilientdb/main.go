@@ -16,6 +16,13 @@
 //	...                                                    (one per replica)
 //	resilientdb -listen :7100 -client 0 -peers ... -clients ... -batches 50
 //
+// With -data-dir the replica persists its ledger to a segmented append-only
+// block store in that directory and, when relaunched with the same flags,
+// recovers from those files alone: a tail torn by the crash is truncated,
+// the surviving prefix is re-verified certificate by certificate, and peers
+// supply only the missing suffix. -segment-bytes and -group-commit tune the
+// store (see the README's Operations section).
+//
 // A replica process serves until SIGINT/SIGTERM (or -serve elapses), then
 // verifies its ledger and prints one final line:
 //
@@ -70,6 +77,9 @@ func run(args []string, out io.Writer) error {
 	serve := fs.Duration("serve", 0, "replica auto-shutdown after this duration (0: run until signal)")
 	localTimeout := fs.Duration("local-timeout", 500*time.Millisecond, "local view-change timeout")
 	remoteTimeout := fs.Duration("remote-timeout", time.Second, "remote view-change timeout")
+	dataDir := fs.String("data-dir", "", "persist each hosted replica's ledger to a block store under this directory; a restarted process recovers from it")
+	segmentBytes := fs.Int64("segment-bytes", 0, "block-store segment file size cap in bytes (0: 4 MiB); needs -data-dir")
+	groupCommit := fs.Duration("group-commit", 0, "batch block-store fsyncs at this interval instead of per block (0: fsync every commit); needs -data-dir")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -77,8 +87,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit}
 	if *listen == "" {
-		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout)
+		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk)
 	}
 
 	net := &resilientdb.NetOptions{
@@ -109,6 +120,9 @@ func run(args []string, out io.Writer) error {
 		EmulateWAN:         *wan,
 		LocalTimeout:       *localTimeout,
 		RemoteTimeout:      *remoteTimeout,
+		DataDir:            disk.dir,
+		DiskSegmentBytes:   disk.segmentBytes,
+		DiskGroupCommit:    disk.groupCommit,
 		Net:                net,
 	}
 	db, err := resilientdb.Open(opts)
@@ -186,8 +200,15 @@ func runClient(out io.Writer, db *resilientdb.DB, idx, batches, batchSize int) e
 	return nil
 }
 
+// diskOptions groups the persistence flags threaded into resilientdb.Options.
+type diskOptions struct {
+	dir          string
+	segmentBytes int64
+	groupCommit  time.Duration
+}
+
 // runInProcess is the original single-process demo.
-func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration) error {
+func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions) error {
 	db, err := resilientdb.Open(resilientdb.Options{
 		Clusters:           clusters,
 		ReplicasPerCluster: replicas,
@@ -195,6 +216,9 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		EmulateWAN:         wan,
 		LocalTimeout:       localTimeout,
 		RemoteTimeout:      remoteTimeout,
+		DataDir:            disk.dir,
+		DiskSegmentBytes:   disk.segmentBytes,
+		DiskGroupCommit:    disk.groupCommit,
 	})
 	if err != nil {
 		return err

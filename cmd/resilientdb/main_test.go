@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"sync"
@@ -192,12 +193,17 @@ func TestMultiProcessCluster(t *testing.T) {
 }
 
 // TestPrimaryKillAndRejoin is the end-to-end failure-model run over real
-// TCP: a 4-replica cluster of separate OS processes loses its primary to
-// SIGKILL mid-load, the client's commits must resume through the local view
-// change, and the killed process is then relaunched with identical flags and
-// must rejoin by pulling the whole certified chain from its peers (ledger
-// catch-up) — every replica, the reborn one included, reports the same
-// verified ledger.
+// TCP: a 4-replica cluster of separate OS processes — each persisting its
+// ledger to its own -data-dir — loses its primary to SIGKILL mid-load
+// (possibly mid-write: the store must truncate the torn tail), the client's
+// commits must resume through the local view change, and the killed process
+// is then relaunched with identical flags and must rejoin from its data
+// directory alone: no in-memory handoff exists across processes, so it
+// re-verifies the on-disk prefix and pulls only the missed suffix from peers
+// (ledger catch-up) — every replica, the reborn one included, reports the
+// same verified ledger. A final solo relaunch with every peer down proves
+// the chain really lives in the files: the replica must report the full
+// converged height with nobody left to copy it from.
 func TestPrimaryKillAndRejoin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process run")
@@ -206,6 +212,8 @@ func TestPrimaryKillAndRejoin(t *testing.T) {
 	addrs := reserveAddrs(t, n+2)
 	replicaAddrs := addrs[:n]
 	clientAddrs := addrs[n:]
+	dataRoot := t.TempDir()
+	dataDir := func(i int) string { return filepath.Join(dataRoot, fmt.Sprintf("r%d", i)) }
 
 	common := []string{
 		"-clusters", "1",
@@ -218,7 +226,7 @@ func TestPrimaryKillAndRejoin(t *testing.T) {
 	replicas := make([]*proc, n)
 	for i := range replicas {
 		replicas[i] = startProc(t, append([]string{
-			"-listen", replicaAddrs[i], "-id", strconv.Itoa(i),
+			"-listen", replicaAddrs[i], "-id", strconv.Itoa(i), "-data-dir", dataDir(i),
 		}, common...)...)
 	}
 	defer func() {
@@ -241,11 +249,14 @@ func TestPrimaryKillAndRejoin(t *testing.T) {
 	replicas[0].cmd.Wait()
 	waitProc(t, client0, "client 0 (across primary kill)", 180*time.Second)
 
-	// Rejoin: same binary, same flags, fresh process. It starts with nothing
-	// (amnesia) and must recover the chain via catch-up while fresh traffic
-	// from a second client provides the evidence that it is behind.
+	// Rejoin: same binary, same flags, fresh process. All it has is its
+	// data directory — the SIGKILLed process took its memory with it — so
+	// it must recover the persisted prefix (torn tail truncated, every
+	// certificate re-verified) and close the remaining gap via catch-up
+	// while fresh traffic from a second client provides the evidence that
+	// it is behind.
 	replicas[0] = startProc(t, append([]string{
-		"-listen", replicaAddrs[0], "-id", "0",
+		"-listen", replicaAddrs[0], "-id", "0", "-data-dir", dataDir(0),
 	}, common...)...)
 	client1 := startProc(t, append([]string{
 		"-listen", clientAddrs[1], "-client", "1", "-batches", "8", "-batch-size", "5",
@@ -277,6 +288,23 @@ func TestPrimaryKillAndRejoin(t *testing.T) {
 	// 48 client batches committed; every one is its own consensus round.
 	if heights[0] < 48 {
 		t.Errorf("ledger height %d < 48 committed batches", heights[0])
+	}
+
+	// Durability proof: relaunch replica 0 alone, every peer down. It has
+	// no one to catch up from, so the full converged chain it reports can
+	// only have come from its data directory — recovered, re-verified, and
+	// byte-for-byte the same head the cluster agreed on.
+	solo := startProc(t, append([]string{
+		"-listen", replicaAddrs[0], "-id", "0", "-data-dir", dataDir(0), "-serve", "3s",
+	}, common...)...)
+	waitProc(t, solo, "replica 0 (solo restart from disk)", 60*time.Second)
+	m := final.FindStringSubmatch(solo.out.String())
+	if m == nil {
+		t.Fatalf("solo replica printed no verified ledger line:\n%s", solo.out.String())
+	}
+	if soloHeight, _ := strconv.Atoi(m[2]); soloHeight != heights[0] || m[3] != heads[0] {
+		t.Errorf("solo restart from disk reports height=%s head=%s, cluster agreed on height=%d head=%s",
+			m[2], m[3], heights[0], heads[0])
 	}
 }
 

@@ -13,6 +13,9 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +34,11 @@ type Scenario struct {
 	Description string
 	// Clusters and Replicas set the topology (z clusters of n replicas).
 	Clusters, Replicas int
+	// Disk runs the deployment disk-backed: every replica persists its
+	// ledger to a block store under a scenario-scoped temporary data
+	// directory, so restarts recover from real files (and the scenario can
+	// corrupt those files to model torn writes).
+	Disk bool
 	// Run drives the deployment; a non-nil error is an assertion failure.
 	Run func(e *Env) error
 }
@@ -43,37 +51,97 @@ func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 	}
 	topo := config.NewTopology(s.Clusters, s.Replicas)
 	net := transport.NewFaulty(transport.NewMem(), seed)
-	fab := fabric.New(fabric.Config{
+	cfg := fabric.Config{
 		Topo:          topo,
 		BatchSize:     4,
 		Records:       128,
 		LocalTimeout:  400 * time.Millisecond,
 		RemoteTimeout: 700 * time.Millisecond,
 		Transport:     net,
-	})
+	}
+	var dataDir string
+	if s.Disk {
+		var err error
+		if dataDir, err = os.MkdirTemp("", "chaos-"+s.Name+"-*"); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		defer os.RemoveAll(dataDir)
+		cfg.DataDir = dataDir
+	}
+	fab, err := fabric.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
 	e := &Env{
 		Topo:    topo,
 		Fab:     fab,
 		Net:     net,
 		Logf:    logf,
+		dataDir: dataDir,
 		crashed: make(map[types.NodeID]bool),
 	}
 	defer e.StopAll()
-	logf("chaos/%s: z=%d n=%d seed=%d", s.Name, s.Clusters, s.Replicas, seed)
+	logf("chaos/%s: z=%d n=%d seed=%d disk=%v", s.Name, s.Clusters, s.Replicas, seed, s.Disk)
 	return s.Run(e)
 }
 
 // Env is the running deployment a scenario manipulates and asserts against.
 type Env struct {
+	// Topo is the deployment shape (z clusters of n replicas).
 	Topo config.Topology
-	Fab  *fabric.Fabric
-	Net  *transport.Faulty
+	// Fab is the running fabric under test.
+	Fab *fabric.Fabric
+	// Net is the seeded fault injector wrapping the transport.
+	Net *transport.Faulty
+	// Logf receives progress lines (never nil).
 	Logf func(format string, args ...any)
 
 	mu      sync.Mutex
 	loaders []*Loader
 	crashed map[types.NodeID]bool
 	stopped bool
+	dataDir string // scenario-scoped block-store root ("" unless Scenario.Disk)
+}
+
+// NodeDir returns a replica's block-store directory in a disk-backed
+// scenario, so scripts can corrupt its files while the replica is down.
+func (e *Env) NodeDir(cluster, idx int) string {
+	return filepath.Join(e.dataDir, fmt.Sprintf("node-%d", int(e.ReplicaID(cluster, idx))))
+}
+
+// TearDiskTail models a crash mid-write against a stopped replica's block
+// store: the last bytes of its newest segment file are chopped mid-record
+// and a fragment of garbage is appended, exactly the shape a power cut
+// leaves behind. The replica must be crashed first (its store is closed);
+// recovery on restart must truncate the torn tail and keep the clean prefix.
+func (e *Env) TearDiskTail(cluster, idx int) error {
+	segs, err := filepath.Glob(filepath.Join(e.NodeDir(cluster, idx), "seg-*.rdb"))
+	if err != nil {
+		return fmt.Errorf("chaos: listing segments for (%d,%d): %w", cluster, idx, err)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("chaos: no segments to tear for (%d,%d) in %s", cluster, idx, e.NodeDir(cluster, idx))
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	if err := os.Truncate(last, fi.Size()-1); err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	defer f.Close()
+	// A partial record: a plausible length prefix with too few bytes after it.
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0x00, 0xde, 0xad}); err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	e.Logf("chaos: tore disk tail of %s", last)
+	return nil
 }
 
 // ReplicaID maps (cluster, local index) to a node id.

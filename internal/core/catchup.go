@@ -166,6 +166,9 @@ func (r *Replica) applyImportedBlocks(blocks []*ledger.Block, notify bool) error
 	if err := r.ledger.Import(blocks, r.verifyImportedBlock); err != nil {
 		return err
 	}
+	if notify {
+		r.catchupBlocks.Add(uint64(len(blocks)))
+	}
 	maxView := uint64(0)
 	for _, b := range blocks {
 		r.env.Suite().ChargeExec(b.Batch.Len())

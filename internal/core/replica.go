@@ -147,8 +147,9 @@ type Replica struct {
 
 	// stats (atomic: the fabric's monitoring APIs read them while the
 	// worker goroutine executes)
-	execBatches atomic.Uint64
-	execTxns    atomic.Uint64
+	execBatches   atomic.Uint64
+	execTxns      atomic.Uint64
+	catchupBlocks atomic.Uint64
 }
 
 // NewReplica constructs a GeoBFT replica. Call Init (or InitEnv) before use.
@@ -271,6 +272,12 @@ func (r *Replica) ExecutedRound() uint64 { return r.executedRound.Load() }
 // ExecutedTxns returns the number of transactions executed. It is safe to
 // call while the replica is running.
 func (r *Replica) ExecutedTxns() uint64 { return r.execTxns.Load() }
+
+// CatchUpBlocks returns how many blocks this replica imported over the
+// network via ledger catch-up (disk-bootstrap replays are not counted).
+// Tests use it to prove a restarted node reused its on-disk prefix instead
+// of re-fetching the whole chain. Safe to call while the replica is running.
+func (r *Replica) CatchUpBlocks() uint64 { return r.catchupBlocks.Load() }
 
 // --- client admission and pipelining ---------------------------------------
 

@@ -111,6 +111,25 @@ func decodeBlockBody(dec *types.Decoder) *ledger.Block {
 	return b
 }
 
+// BlockCodec is the persisted-block codec used by the durable ledger store
+// (internal/ledger/disk): exactly the catch-up wire encoding of one block,
+// so the bytes on disk and the bytes in a CatchUpResp are the same format
+// and a recovered block goes through the identical decode path either way.
+type BlockCodec struct{}
+
+// EncodeBlock implements disk.BlockCodec.
+func (BlockCodec) EncodeBlock(enc *types.Encoder, b *ledger.Block) { encodeBlockBody(enc, b) }
+
+// DecodeBlock implements disk.BlockCodec; malformed input is an error, never
+// a panic (the decoder records underflow and the fuzz suite enforces it).
+func (BlockCodec) DecodeBlock(dec *types.Decoder) (*ledger.Block, error) {
+	b := decodeBlockBody(dec)
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // EncodeBody implements types.WireMessage.
 func (c *CatchUpReq) EncodeBody(enc *types.Encoder) {
 	enc.U64(c.NextHeight)

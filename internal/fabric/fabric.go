@@ -21,6 +21,8 @@ package fabric
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"resilientdb/internal/core"
 	"resilientdb/internal/crypto"
 	"resilientdb/internal/ledger"
+	"resilientdb/internal/ledger/disk"
 	"resilientdb/internal/metrics"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/transport"
@@ -63,6 +66,22 @@ type Config struct {
 	// Local restricts which replicas this process hosts (multi-process
 	// deployments over TCP). Nil means all replicas run here.
 	Local []types.NodeID
+	// DataDir, when non-empty, makes every replica hosted by this process
+	// durable: each gets a segmented append-only block store under
+	// DataDir/node-<id> (internal/ledger/disk), certified blocks are
+	// persisted as they commit, and a restarted node bootstraps from its
+	// on-disk prefix — re-verified like an untrusted peer's chain — before
+	// catch-up fills only the genuinely missing suffix. Empty keeps
+	// ledgers in memory only (tests, benchmarks).
+	DataDir string
+	// DiskSegmentBytes caps one segment file of the block store; 0 selects
+	// disk.DefaultSegmentBytes. Ignored without DataDir.
+	DiskSegmentBytes int64
+	// DiskGroupCommit batches block-store fsyncs at this interval instead
+	// of syncing every append (trading up to one interval of committed
+	// blocks on machine — not process — crash for much higher append
+	// throughput). 0 fsyncs on every commit. Ignored without DataDir.
+	DiskGroupCommit time.Duration
 	// VerifyWorkers sizes each node's pool of verify goroutines — the
 	// parallel input stage of Figure 9 that performs all cryptographic
 	// checks before a message reaches the worker. 0 selects GOMAXPROCS,
@@ -85,9 +104,23 @@ type Fabric struct {
 	stopped bool
 }
 
-// New builds and starts a fabric deployment (or, with cfg.Local set, this
-// process's slice of one).
+// New builds and starts a fabric deployment, like Open, for configurations
+// that cannot fail: it panics on error, which only a disk-backed
+// configuration (cfg.DataDir set) can produce. Disk-backed callers should
+// use Open.
 func New(cfg Config) *Fabric {
+	f, err := Open(cfg)
+	if err != nil {
+		panic("fabric: " + err.Error())
+	}
+	return f
+}
+
+// Open builds and starts a fabric deployment (or, with cfg.Local set, this
+// process's slice of one). With cfg.DataDir set, each hosted replica first
+// recovers its persisted chain — torn tails truncated, every commit
+// certificate re-verified — before joining the network.
+func Open(cfg Config) (*Fabric, error) {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 100
 	}
@@ -123,13 +156,82 @@ func New(cfg Config) *Fabric {
 	if local == nil {
 		local = cfg.Topo.AllReplicas()
 	}
+	// Two phases: create (and register) every node before starting any, so
+	// no node's first sends can race a sibling's transport registration.
+	boots := make(map[types.NodeID]func(r *core.Replica), len(local))
 	for _, id := range local {
-		f.nodes[id] = newNode(f, id)
+		n := newNode(f, id)
+		boot, err := f.attachDisk(n, false)
+		if err != nil {
+			n.stop()
+			for _, created := range f.nodes {
+				created.stop()
+			}
+			tr.Close()
+			return nil, err
+		}
+		f.nodes[id] = n
+		boots[id] = boot
 	}
-	for _, n := range f.nodes {
-		n.start(nil)
+	for _, id := range local {
+		f.nodes[id].start(boots[id])
 	}
-	return f
+	return f, nil
+}
+
+// nodeDir is one replica's slice of the deployment's data directory.
+func (f *Fabric) nodeDir(id types.NodeID) string {
+	return filepath.Join(f.cfg.DataDir, fmt.Sprintf("node-%d", int(id)))
+}
+
+// attachDisk opens a node's block store (when the deployment is disk-backed),
+// recovers its persisted chain, and returns the boot closure that replays the
+// chain into the fresh state machine on its worker. wipe discards any
+// existing on-disk state first (an amnesia restart: the disk is gone).
+//
+// The boot closure re-verifies the recovered prefix through the ordinary
+// catch-up Import path (Bootstrap); a chain that fails re-verification is
+// dropped from disk too — it could never be served to a peer — and counted
+// as a verify rejection. The store attaches to the ledger only after the
+// bootstrap settles, truncated to exactly the accepted prefix, so disk and
+// chain stay in lockstep from the first live append.
+func (f *Fabric) attachDisk(n *Node, wipe bool) (func(r *core.Replica), error) {
+	if f.cfg.DataDir == "" {
+		return nil, nil
+	}
+	dir := f.nodeDir(n.id)
+	if wipe {
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, fmt.Errorf("fabric: wiping %s: %w", dir, err)
+		}
+	}
+	st, blocks, err := disk.Open(dir, core.BlockCodec{}, disk.Options{
+		SegmentBytes: f.cfg.DiskSegmentBytes,
+		GroupCommit:  f.cfg.DiskGroupCommit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fabric: node %v block store: %w", n.id, err)
+	}
+	n.store = st
+	return func(r *core.Replica) {
+		if err := r.Bootstrap(blocks); err != nil {
+			// The persisted chain did not re-verify: surface it instead of
+			// failing silently, drop it, and recover over the network.
+			n.drops.VerifyReject.Add(1)
+		}
+		if h := r.Ledger().Height(); h < st.Height() {
+			// Bootstrap accepted less than the store holds (round-boundary
+			// trim, or the rejection above): cut the store back so the next
+			// persisted block lands at the chain's true next height.
+			if err := st.Truncate(h); err != nil {
+				// The node runs memory-only; StoreErr reports the gap
+				// (the store itself closes with the node on stop).
+				r.Ledger().NoteStoreFailure(err)
+				return
+			}
+		}
+		r.Ledger().SetStore(st)
+	}, nil
 }
 
 func clientIDs(n int) []types.NodeID {
@@ -209,13 +311,16 @@ func (f *Fabric) StopNode(id types.NodeID) {
 
 // StartNode restarts a replica previously halted with StopNode, modelling a
 // machine rejoining the cluster. With keepLedger the new replica bootstraps
-// from the stopped replica's ledger (crash-with-disk: the chain survived,
-// and is re-verified as if it came from an untrusted peer — a chain that
-// fails re-verification is discarded, counted as a verify rejection in
-// Stats, and the node falls back to network recovery); without it the
-// replica starts from nothing (amnesia) and recovers the whole chain from
-// its peers through ledger catch-up. Either way the replica converges to the
-// live height via CatchUpReq/CatchUpResp.
+// from the stopped replica's chain — read back from its on-disk block store
+// when the deployment is disk-backed (Config.DataDir), otherwise handed over
+// from the stopped replica's in-memory ledger — and re-verified as if it
+// came from an untrusted peer: a chain that fails re-verification is
+// discarded, counted as a verify rejection in Stats, and the node falls back
+// to network recovery. Without keepLedger the replica starts from nothing
+// (amnesia — on a disk-backed deployment its store directory is wiped, the
+// disk is literally gone) and recovers the whole chain from its peers
+// through ledger catch-up. Either way the replica converges to the live
+// height via CatchUpReq/CatchUpResp.
 func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 	f.mu.Lock()
 	if f.stopped {
@@ -234,9 +339,11 @@ func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 	f.mu.Unlock()
 	// Let the halted pipeline drain fully before its successor starts, so a
 	// stale worker cannot emit traffic concurrently with the reborn node.
+	// This also closes the old node's block store, releasing its files for
+	// the successor to reopen.
 	old.stop()
 	var blocks []*ledger.Block
-	if keepLedger {
+	if keepLedger && f.cfg.DataDir == "" {
 		blocks = old.replica.Ledger().Export(1, 0)
 	}
 
@@ -254,7 +361,16 @@ func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 	f.mu.Unlock()
 
 	var boot func(r *core.Replica)
-	if keepLedger {
+	if f.cfg.DataDir != "" {
+		var err error
+		if boot, err = f.attachDisk(n, !keepLedger); err != nil {
+			// Run disk-less rather than leave the id dead: the node is
+			// already registered, and a refusal here would strand it. The
+			// durability gap stays observable through Ledger.StoreErr.
+			openErr := err
+			boot = func(r *core.Replica) { r.Ledger().NoteStoreFailure(openErr) }
+		}
+	} else if keepLedger {
 		boot = func(r *core.Replica) {
 			if err := r.Bootstrap(blocks); err != nil {
 				// The preserved chain did not re-verify: surface it instead
@@ -298,6 +414,11 @@ type Node struct {
 
 	seen  shareCache // verified-certificate dedup (verify pool only)
 	drops metrics.Drops
+
+	// store is the node's durable block store (nil without Config.DataDir).
+	// The node owns it: opened before start, closed after the pipeline
+	// drains in stop, so no append can race the close.
+	store *disk.Store
 
 	// detached marks the node unregistered from the transport (guarded by
 	// the owning Fabric's mu; see StopNode/StartNode).
@@ -604,6 +725,9 @@ func (c *shareCache) add(k core.ShareDedupKey) {
 func (n *Node) stop() {
 	n.stopOnce.Do(func() { close(n.quit) })
 	n.wg.Wait()
+	if n.store != nil {
+		n.store.Close() // idempotent; flushes the last group-commit window
+	}
 }
 
 func (n *Node) post(fn func()) {

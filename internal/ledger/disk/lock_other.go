@@ -1,0 +1,16 @@
+//go:build !unix
+
+package disk
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics: the store still
+// works, but concurrent opens of the same directory are not detected.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+// unlockDir matches the unix implementation.
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package disk
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir/LOCK, so two processes
+// pointed at the same store directory fail fast at Open instead of
+// interleaving appends into the same segment (which would corrupt the
+// sealed prefix beyond what torn-tail recovery can repair). The kernel
+// releases the lock when the process dies — SIGKILL included — so a crash
+// never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(lockPath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: store %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the lock taken by lockDir.
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}

@@ -66,6 +66,34 @@ func blockHash(b *Block) types.Digest {
 	return types.Hash(enc.Bytes())
 }
 
+// Store is a durable backend for the chain. When one is attached
+// (SetStore), every certified block the ledger accepts — whether appended by
+// consensus execution (AppendCertified) or by catch-up (Import) — is handed
+// to the store before the ledger operation returns, so the on-disk prefix
+// never lags the in-memory chain by more than the in-flight call. The
+// production implementation is the segmented append-only file store in
+// internal/ledger/disk; the ledger treats the store as write-only (reading
+// it back is the bootstrap path in internal/fabric, which re-verifies every
+// recovered block before this ledger ever sees it).
+type Store interface {
+	// Append persists one certified block at its height. Calls arrive in
+	// strict height order, under the ledger's lock.
+	Append(b *Block) error
+}
+
+// BatchStore is an optional Store extension for multi-block persistence:
+// Import hands a whole verified range over in one call, letting the backend
+// amortize a single fsync across the batch instead of syncing per block —
+// recovery imports arrive in 64-block catch-up chunks, and one fsync per
+// chunk gives the same crash guarantee (a machine crash mid-import already
+// only ever costs a re-fetchable suffix) at a fraction of the cost.
+type BatchStore interface {
+	Store
+	// AppendBatch persists the blocks in order and makes them durable as
+	// one unit.
+	AppendBatch(blocks []*Block) error
+}
+
 // Ledger is one replica's copy of the chain. Appends come from the replica's
 // single-threaded executor; reads (Height, Head, Block, Verify, PrefixOf) are
 // guarded by an internal lock so monitoring code can inspect the chain while
@@ -73,10 +101,76 @@ func blockHash(b *Block) types.Digest {
 type Ledger struct {
 	mu     sync.RWMutex
 	blocks []*Block
+
+	// store, when non-nil, receives every certified block. The first
+	// persistence failure detaches it and is retained in storeErr:
+	// consensus must not halt because a disk filled, but the gap must be
+	// observable (StoreErr) rather than silent.
+	store    Store
+	storeErr error
 }
 
 // New returns an empty ledger.
 func New() *Ledger { return &Ledger{} }
+
+// SetStore attaches a durable backend. Blocks already in the chain are NOT
+// replayed into it — attach the store before appending, or after importing
+// exactly the prefix the store already holds (the bootstrap path in
+// internal/fabric does the latter, truncating the store to the accepted
+// prefix first).
+func (l *Ledger) SetStore(s Store) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store = s
+	l.storeErr = nil
+}
+
+// StoreErr returns the persistence failure that detached the durable
+// backend, or nil while persistence is healthy (or absent).
+func (l *Ledger) StoreErr() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.storeErr
+}
+
+// NoteStoreFailure records a durable-backend failure observed outside the
+// ledger's own append path — the runtime could not open, repair, or attach
+// the node's store — detaching any attached store so StoreErr surfaces the
+// durability gap through the same channel as an append failure. A nil err
+// is a no-op.
+func (l *Ledger) NoteStoreFailure(err error) {
+	if err == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.storeErr == nil {
+		l.storeErr = err
+	}
+	l.store = nil
+}
+
+// persist hands one certified block to the attached store. Called with mu
+// held. A block without a certificate cannot be persisted — it could never
+// be re-verified at bootstrap — and since the store requires contiguous
+// heights, one such block ends durability for the whole chain: the store
+// detaches immediately with an explanatory StoreErr rather than failing
+// later with a confusing height mismatch. (The GeoBFT execution path only
+// ever appends certified blocks, so this fires only on misuse.)
+func (l *Ledger) persist(b *Block) {
+	if l.store == nil {
+		return
+	}
+	if b.Cert == nil {
+		l.storeErr = fmt.Errorf("ledger: block %d has no certificate and cannot be persisted; store detached", b.Height)
+		l.store = nil
+		return
+	}
+	if err := l.store.Append(b); err != nil {
+		l.storeErr = err
+		l.store = nil
+	}
+}
 
 // Append adds the next block for (round, cluster, batch, certDigest) and
 // returns it.
@@ -108,6 +202,7 @@ func (l *Ledger) append(round uint64, cluster types.ClusterID, batch types.Batch
 	}
 	b.Hash = blockHash(b)
 	l.blocks = append(l.blocks, b)
+	l.persist(b)
 	return b
 }
 
@@ -245,7 +340,38 @@ func (l *Ledger) Import(blocks []*Block, verify func(*Block) error) error {
 		prev = nb.Hash
 	}
 	l.blocks = append(l.blocks, staged...)
+	l.persistBatch(staged)
 	return nil
+}
+
+// persistBatch hands an imported range to the attached store, preferring
+// the BatchStore fast path (one durability barrier for the whole range).
+// Called with mu held.
+func (l *Ledger) persistBatch(staged []*Block) {
+	if l.store == nil {
+		return
+	}
+	bs, ok := l.store.(BatchStore)
+	if !ok {
+		for _, b := range staged {
+			l.persist(b)
+		}
+		return
+	}
+	for _, b := range staged {
+		if b.Cert == nil {
+			// An uncertified block ends durability (see persist); route
+			// through the per-block path so it detaches with the same error.
+			for _, b := range staged {
+				l.persist(b)
+			}
+			return
+		}
+	}
+	if err := bs.AppendBatch(staged); err != nil {
+		l.storeErr = err
+		l.store = nil
+	}
 }
 
 // PrefixOf reports whether l is a prefix of other (used by tests to check

@@ -17,8 +17,11 @@ import (
 
 // Envelope is a routed message.
 type Envelope struct {
+	// From is the sending node (the fabric's output stage repurposes it as
+	// the destination while an envelope sits in a send queue).
 	From types.NodeID
-	Msg  types.Message
+	// Msg is the message itself.
+	Msg types.Message
 }
 
 // Transport delivers messages between registered nodes.
@@ -87,6 +90,8 @@ func (b *mailbox) close() {
 // Mem is an in-memory transport. Latency, if set, returns the injected
 // one-way delay between two nodes (for example from the Table 1 profile).
 type Mem struct {
+	// Latency injects a one-way delay per (from, to) pair; nil delivers
+	// immediately. Set it before the first Send.
 	Latency func(from, to types.NodeID) time.Duration
 
 	mu     sync.RWMutex

@@ -54,9 +54,11 @@ type Options struct {
 	// EmulateWAN injects the paper's Table 1 inter-region latencies between
 	// clusters (the deployment still runs in-process).
 	EmulateWAN bool
-	// LocalTimeout and RemoteTimeout tune failure detection (defaults: 2 s
-	// and 3 s; lower them in tests that inject crashes).
-	LocalTimeout  time.Duration
+	// LocalTimeout tunes local view-change failure detection (default 2 s;
+	// lower it in tests that inject crashes).
+	LocalTimeout time.Duration
+	// RemoteTimeout is the base failure-detection timeout for remote
+	// clusters (default 3 s; it backs off exponentially on repeat).
 	RemoteTimeout time.Duration
 	// VerifyWorkers sizes each replica's parallel verification pool (all
 	// cryptographic checks run there, off the consensus thread). 0 selects
@@ -66,6 +68,22 @@ type Options struct {
 	// value forces that pool size; both serial modes verify inline on the
 	// worker.
 	VerifyWorkers int
+	// DataDir, when non-empty, makes every replica hosted by this process
+	// durable: each persists its certified blocks to a segmented
+	// append-only block store under DataDir/node-<id> as they commit, and
+	// a restarted process recovers the chain from those files alone —
+	// torn tails from a crash mid-write are truncated, every commit
+	// certificate is re-verified, and peers supply only the genuinely
+	// missing suffix. Empty (the default) keeps ledgers in memory only.
+	DataDir string
+	// DiskSegmentBytes caps one block-store segment file (0: 4 MiB).
+	// Ignored without DataDir.
+	DiskSegmentBytes int64
+	// DiskGroupCommit batches block-store fsyncs at this interval instead
+	// of syncing every committed block; it trades up to one interval of
+	// blocks on machine (not process) crash for append throughput. 0
+	// fsyncs every commit. Ignored without DataDir.
+	DiskGroupCommit time.Duration
 	// Net, if non-nil, runs this process as one member of a multi-process
 	// TCP deployment instead of a self-contained in-process fabric.
 	Net *NetOptions
@@ -113,12 +131,15 @@ func Open(o Options) (*DB, error) {
 	}
 	topo := config.NewTopology(o.Clusters, o.ReplicasPerCluster)
 	cfg := fabric.Config{
-		Topo:          topo,
-		BatchSize:     o.BatchSize,
-		Records:       o.Records,
-		LocalTimeout:  o.LocalTimeout,
-		RemoteTimeout: o.RemoteTimeout,
-		VerifyWorkers: o.VerifyWorkers,
+		Topo:             topo,
+		BatchSize:        o.BatchSize,
+		Records:          o.Records,
+		LocalTimeout:     o.LocalTimeout,
+		RemoteTimeout:    o.RemoteTimeout,
+		VerifyWorkers:    o.VerifyWorkers,
+		DataDir:          o.DataDir,
+		DiskSegmentBytes: o.DiskSegmentBytes,
+		DiskGroupCommit:  o.DiskGroupCommit,
 	}
 	var latency func(from, to types.NodeID) time.Duration
 	if o.EmulateWAN {
@@ -165,7 +186,14 @@ func Open(o Options) (*DB, error) {
 	} else {
 		cfg.Latency = latency
 	}
-	db.fab = fabric.New(cfg)
+	fab, err := fabric.Open(cfg)
+	if err != nil {
+		if db.tcp != nil {
+			db.tcp.Close()
+		}
+		return nil, err
+	}
+	db.fab = fab
 	return db, nil
 }
 
