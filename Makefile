@@ -25,7 +25,7 @@ fmt:
 # packages whose godoc is the operations/API reference (see ARCHITECTURE.md).
 docs-check: vet
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
-	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos .
+	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos ./internal/byzantine .
 
 # Short fuzz pass over the wire codec (decode must never panic), the ledger
 # importer (rejected ranges must leave the chain untouched), and block-store
@@ -36,11 +36,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLedgerImport -fuzztime 30s ./internal/ledger/
 	$(GO) test -run '^$$' -fuzz FuzzDiskRecovery -fuzztime 30s ./internal/ledger/disk/
 
-# Seeded fault-injection scenario suite (crash-primary, crash-remote-primary,
-# partition-heal, restart-and-catch-up), race-instrumented. See README
-# "Failure model & recovery".
+# Seeded fault-injection scenario suite, race-instrumented: the crash/
+# partition/restart scenarios plus the Byzantine suite (equivocating
+# primary, forged certificate shares, view-change spam, tampered catch-up)
+# over the full seed matrix, and the harness's own teeth test (a >f
+# coalition must demonstrably break the safety checks). Replay one failure
+# byte-for-byte with CHAOS_SEED=<seed> make chaos. See README "Failure
+# model & recovery".
 chaos:
-	$(GO) test -race -v -count=1 -run TestChaosScenarios ./internal/chaos/
+	CHAOS_MATRIX=full $(GO) test -race -v -count=1 -run 'TestChaosScenarios|TestByzantine|TestRunEnforcesFaultBound' ./internal/chaos/
 
 # Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
 # serial vs verify pool) plus codec micro-benchmarks; writes BENCH_PR2.json

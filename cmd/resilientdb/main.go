@@ -16,6 +16,14 @@
 //	...                                                    (one per replica)
 //	resilientdb -listen :7100 -client 0 -peers ... -clients ... -batches 50
 //
+// With -adversary one hosted replica (replica (0,0) in-process; the
+// process's own replica in multi-process mode) runs a scripted Byzantine
+// attack from internal/byzantine — equivocate, forge-shares, vc-spam,
+// tamper-catchup, or suppress — from startup. The deployment tolerates f
+// Byzantine replicas per cluster, so a run with one adversary must still
+// commit every batch; the final report counts the forged messages the
+// honest replicas rejected.
+//
 // With -data-dir the replica persists its ledger to a segmented append-only
 // block store in that directory and, when relaunched with the same flags,
 // recovers from those files alone: a tail torn by the crash is truncated,
@@ -77,6 +85,7 @@ func run(args []string, out io.Writer) error {
 	serve := fs.Duration("serve", 0, "replica auto-shutdown after this duration (0: run until signal)")
 	localTimeout := fs.Duration("local-timeout", 500*time.Millisecond, "local view-change timeout")
 	remoteTimeout := fs.Duration("remote-timeout", time.Second, "remote view-change timeout")
+	adversary := fs.String("adversary", "", "compromise one hosted replica with a scripted byzantine attack: equivocate, forge-shares, vc-spam, tamper-catchup, or suppress")
 	dataDir := fs.String("data-dir", "", "persist each hosted replica's ledger to a block store under this directory; a restarted process recovers from it")
 	segmentBytes := fs.Int64("segment-bytes", 0, "block-store segment file size cap in bytes (0: 4 MiB); needs -data-dir")
 	groupCommit := fs.Duration("group-commit", 0, "batch block-store fsyncs at this interval instead of per block (0: fsync every commit); needs -data-dir")
@@ -89,7 +98,7 @@ func run(args []string, out io.Writer) error {
 
 	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit}
 	if *listen == "" {
-		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk)
+		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, *adversary)
 	}
 
 	net := &resilientdb.NetOptions{
@@ -124,6 +133,7 @@ func run(args []string, out io.Writer) error {
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
 		Net:                net,
+		Adversary:          *adversary,
 	}
 	db, err := resilientdb.Open(opts)
 	if err != nil {
@@ -207,8 +217,12 @@ type diskOptions struct {
 	groupCommit  time.Duration
 }
 
-// runInProcess is the original single-process demo.
-func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions) error {
+// runInProcess is the original single-process demo. With adversary set,
+// replica (0,0) runs the named attack script from startup and the run must
+// still complete: the deployment tolerates f=1 Byzantine replica per
+// cluster, and the final line reports how many forged messages were
+// rejected.
+func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions, adversary string) error {
 	db, err := resilientdb.Open(resilientdb.Options{
 		Clusters:           clusters,
 		ReplicasPerCluster: replicas,
@@ -219,6 +233,7 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		DataDir:            disk.dir,
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
+		Adversary:          adversary,
 	})
 	if err != nil {
 		return err
@@ -226,6 +241,9 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 	defer db.Close()
 	z, n, f := db.Topology()
 	fmt.Fprintf(out, "resilientdb: %d×%d replicas (f=%d per cluster), wan=%v\n", z, n, f, wan)
+	if adversary != "" {
+		fmt.Fprintf(out, "adversary: replica (0,0) runs %q\n", adversary)
+	}
 
 	done := make(chan int, clusters)
 	for c := 0; c < clusters; c++ {
@@ -268,5 +286,8 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		return err
 	}
 	fmt.Fprintf(out, "ledger: %d blocks, head %s (verified)\n", led.Height(), led.Head().Short())
+	if adversary != "" {
+		fmt.Fprintf(out, "adversary: %d forged messages rejected\n", db.Stats().VerifyReject)
+	}
 	return nil
 }

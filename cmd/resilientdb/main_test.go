@@ -89,6 +89,37 @@ func waitProc(t *testing.T, p *proc, what string, timeout time.Duration) {
 	}
 }
 
+// TestInProcessWithAdversary runs the single-process demo with replica
+// (0,0) compromised by the share-forging script: the deployment tolerates
+// f=1 Byzantine replica per cluster, so every batch must still commit, the
+// honest ledger must verify, and the forged certificates must be counted as
+// verify-rejects — the -adversary flag end to end.
+func TestInProcessWithAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time adversarial run")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-clusters", "2", "-replicas", "4",
+		"-batches", "6", "-batch-size", "4",
+		"-adversary", "forge-shares",
+		"-local-timeout", "400ms", "-remote-timeout", "700ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("adversarial run failed: %v\n%s", err, out.String())
+	}
+	if !regexp.MustCompile(`committed 12/12 batches`).Match(out.Bytes()) {
+		t.Fatalf("not all batches committed:\n%s", out.String())
+	}
+	m := regexp.MustCompile(`adversary: (\d+) forged messages rejected`).FindSubmatch(out.Bytes())
+	if m == nil {
+		t.Fatalf("missing adversary report:\n%s", out.String())
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n == 0 {
+		t.Fatalf("adversarial run rejected nothing:\n%s", out.String())
+	}
+}
+
 // TestMultiProcessCluster is the acceptance run: a z=2, n=4 deployment of 8
 // separate replica OS processes over TCP on localhost, driven by one client
 // process per cluster submitting 50 batches each. Every replica must report

@@ -1,0 +1,38 @@
+package byzantine_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientdb/internal/byzantine"
+	"resilientdb/internal/types"
+)
+
+// TestRegenerateCorpus writes the adversary-generated wire-decode fuzz seeds
+// into the directory named by BYZ_CORPUS_DIR (normally
+// internal/types/testdata/fuzz/FuzzDecodeMessage) and is skipped otherwise.
+// CorpusMessages is deterministic, so regeneration is byte-for-byte:
+//
+//	BYZ_CORPUS_DIR=../types/testdata/fuzz/FuzzDecodeMessage go test -run TestRegenerateCorpus ./internal/byzantine/
+func TestRegenerateCorpus(t *testing.T) {
+	dir := os.Getenv("BYZ_CORPUS_DIR")
+	if dir == "" {
+		t.Skip("set BYZ_CORPUS_DIR to write the corpus seeds")
+	}
+	for i, m := range byzantine.CorpusMessages() {
+		buf, err := types.EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("corpus %d (%s): %v", i, m.MsgType(), err)
+		}
+		tag := strings.NewReplacer("/", "-", " ", "-").Replace(m.MsgType())
+		name := filepath.Join(dir, fmt.Sprintf("byz-%02d-%s", i, tag))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", buf)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", name, len(buf))
+	}
+}

@@ -1,0 +1,512 @@
+package byzantine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/core"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// The built-in attack scripts. Each models one class of Byzantine behaviour
+// from the BFT literature that crash-fault testing cannot exercise:
+//
+//   - EquivocatingPrimary: conflicting proposals to disjoint subsets of the
+//     cluster (the canonical safety attack on a primary-backup protocol).
+//   - DoubleVoter: a coalition member that countersigns the primary's
+//     equivocation — only meaningful with > f attackers, which is exactly
+//     what the harness's teeth tests use to prove the invariant checks can
+//     fail.
+//   - ShareForger: garbled commit certificates sent cross-cluster (GeoBFT's
+//     global sharing step), forcing the remote view-change path.
+//   - ViewChangeSpammer: stale and far-future view-change campaigns plus
+//     forged remote view-change requests, probing the spam defenses.
+//   - CatchupTamperer: tampered and fabricated catch-up responses aimed at a
+//     recovering replica (the state-transfer attack surface).
+//   - Suppressor: selective per-victim message suppression (a "gray"
+//     failure: the attacker is alive but starves chosen peers).
+
+// twinBatch derives the deterministic equivocated twin of a batch: same
+// client and sequence, different content — so its digest differs and two
+// quorums could be driven to conflicting decisions.
+func twinBatch(b types.Batch) types.Batch {
+	twin := types.Batch{Client: b.Client, Seq: b.Seq, NoOp: b.NoOp}
+	if len(b.Txns) == 0 {
+		twin.Txns = []types.Transaction{{Key: 0xb1a5ed, Value: b.Seq}}
+	} else {
+		twin.Txns = make([]types.Transaction, len(b.Txns))
+		for i, t := range b.Txns {
+			twin.Txns[i] = types.Transaction{Key: t.Key, Value: t.Value ^ 0x5a5a5a5a}
+		}
+	}
+	twin.PrimeDigest()
+	return twin
+}
+
+// doubleVote rewrites an outbound prepare or commit vote for a forked
+// sequence into its twin supporting the fork's digest, signed with the
+// adversary's own key. It is shared by EquivocatingPrimary (the forker) and
+// DoubleVoter (the coalition member).
+func doubleVote(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	switch m := msg.(type) {
+	case *pbft.Prepare:
+		fk := a.fleet.fork(forkKey{cluster: a.Cluster(), view: m.View, seq: m.Seq})
+		if fk == nil || to != a.DefaultVictim() {
+			return nil, false
+		}
+		a.tampered.Add(1)
+		return []transport.Delivery{{To: to, Msg: &pbft.Prepare{
+			View: m.View, Seq: m.Seq, Digest: fk.digest, Replica: a.id,
+			Sig: a.suite.Sign(pbft.PreparePayload(m.View, m.Seq, fk.digest)),
+		}}}, true
+	case *pbft.Commit:
+		fk := a.fleet.fork(forkKey{cluster: a.Cluster(), view: m.View, seq: m.Seq})
+		if fk == nil || to != a.DefaultVictim() {
+			return nil, false
+		}
+		a.tampered.Add(1)
+		return []transport.Delivery{{To: to, Msg: &pbft.Commit{
+			View: m.View, Seq: m.Seq, Digest: fk.digest, Replica: a.id,
+			Sig: a.suite.Sign(pbft.CommitPayload(m.View, m.Seq, fk.digest)),
+		}}}, true
+	}
+	return nil, false
+}
+
+// EquivocatingPrimary forks the primary's own proposals: the default victim
+// receives a conflicting twin proposal (and twin votes), everyone else the
+// real one. With Detector set, one honest replica is deliberately shown both
+// proposals — provable equivocation that makes it campaign for a view change,
+// so the cluster routes around the attacker (the liveness half of the
+// scenario). With exactly f attackers the twin can never gather a quorum and
+// safety holds; a coalition of this script plus DoubleVoter on >f replicas
+// commits both sides — which is what the harness's teeth test proves it can
+// detect.
+type EquivocatingPrimary struct {
+	// Rounds caps how many sequence numbers are forked (≤ 0: unlimited).
+	Rounds int
+	// Detector, when set, shows one honest replica both conflicting
+	// proposals so the equivocation is provable and triggers a view change.
+	Detector bool
+
+	mu     sync.Mutex
+	forked int
+}
+
+// Name implements Script.
+func (s *EquivocatingPrimary) Name() string { return "equivocating-primary" }
+
+// Rewrite implements Script.
+func (s *EquivocatingPrimary) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	if pp, ok := msg.(*pbft.PrePrepare); ok {
+		k := forkKey{cluster: a.Cluster(), view: pp.View, seq: pp.Seq}
+		fk := a.fleet.fork(k)
+		if fk == nil {
+			s.mu.Lock()
+			capped := s.Rounds > 0 && s.forked >= s.Rounds
+			if !capped {
+				s.forked++
+			}
+			s.mu.Unlock()
+			if capped {
+				return nil, false
+			}
+			twin := twinBatch(pp.Batch)
+			fk = a.fleet.publishFork(k, &fork{digest: twin.Digest(), batch: twin})
+			a.forked.Add(1)
+		}
+		twinPP := &pbft.PrePrepare{View: pp.View, Seq: pp.Seq, Digest: fk.digest, Batch: fk.batch}
+		switch {
+		case to == a.DefaultVictim():
+			return []transport.Delivery{{To: to, Msg: twinPP}}, true
+		case s.Detector && to == a.DefaultDetector():
+			return []transport.Delivery{{To: to, Msg: pp}, {To: to, Msg: twinPP}}, true
+		}
+		return nil, false
+	}
+	return doubleVote(a, to, msg)
+}
+
+// DoubleVoter countersigns forks published by an EquivocatingPrimary in its
+// cluster: prepares and commits sent to the victim are rewritten to support
+// the forked digest. On its own (≤ f attackers) it changes nothing; as part
+// of a >f coalition it is what lets both sides of an equivocation commit.
+type DoubleVoter struct{}
+
+// Name implements Script.
+func (DoubleVoter) Name() string { return "double-voter" }
+
+// Rewrite implements Script.
+func (DoubleVoter) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	return doubleVote(a, to, msg)
+}
+
+// ShareForger garbles the commit certificates a primary shares with other
+// clusters (GeoBFT's global sharing step): remote replicas must reject every
+// forgery — counted as verify-rejects — block on the missing round, and
+// depose the forger through the remote view-change protocol. Local traffic
+// is untouched, so the forger's own cluster keeps committing: the attack is
+// only visible globally, exactly the failure mode Figure 7 exists for.
+type ShareForger struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Name implements Script.
+func (s *ShareForger) Name() string { return "share-forger" }
+
+// Rewrite implements Script.
+func (s *ShareForger) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	gs, ok := msg.(*core.GlobalShare)
+	if !ok || gs.Cert == nil || a.topo.ClusterOf(to) == a.Cluster() || to.IsClient() {
+		return nil, false
+	}
+	s.mu.Lock()
+	n := s.count
+	s.count++
+	s.mu.Unlock()
+	a.tampered.Add(1)
+	return []transport.Delivery{{To: to, Msg: forgeShare(gs, n)}}, true
+}
+
+// forgeShare builds the n-th deterministic forgery of a certificate share.
+// The original message (shared with honest nodes in-process) is never
+// mutated; every forgery is a fresh message that must fail certificate
+// verification at the receiver — or, for the tampered-batch variant, fail
+// the digest binding the way a wire-level tamper would.
+func forgeShare(gs *core.GlobalShare, n int) *core.GlobalShare {
+	src := gs.Cert
+	cert := &pbft.Certificate{
+		View: src.View, Seq: src.Seq, Digest: src.Digest, Batch: src.Batch,
+		Signers: append([]types.NodeID(nil), src.Signers...),
+	}
+	cert.Sigs = make([][]byte, len(src.Sigs))
+	for i, sig := range src.Sigs {
+		cert.Sigs[i] = append([]byte(nil), sig...)
+	}
+	switch n % 4 {
+	case 0: // corrupt one commit signature
+		if len(cert.Sigs) > 0 && len(cert.Sigs[0]) > 0 {
+			cert.Sigs[0][0] ^= 0xff
+		}
+	case 1: // duplicate a signer to fake the quorum
+		if len(cert.Signers) > 1 {
+			cert.Signers[1] = cert.Signers[0]
+			cert.Sigs[1] = append([]byte(nil), cert.Sigs[0]...)
+		}
+	case 2: // drop a signature: signer/signature counts disagree
+		if len(cert.Sigs) > 0 {
+			cert.Sigs = cert.Sigs[:len(cert.Sigs)-1]
+		}
+	case 3: // tamper the batch content (fresh struct: digests recompute)
+		tampered := types.Batch{Client: src.Batch.Client, Seq: src.Batch.Seq, NoOp: src.Batch.NoOp,
+			Txns: append([]types.Transaction(nil), src.Batch.Txns...)}
+		if len(tampered.Txns) > 0 {
+			tampered.Txns[0].Value ^= 0xbad
+		} else {
+			tampered.Txns = []types.Transaction{{Key: 1, Value: 0xbad}}
+		}
+		cert.Batch = tampered
+	}
+	return &core.GlobalShare{Cluster: gs.Cluster, Round: gs.Round, Cert: cert}
+}
+
+// ViewChangeSpammer rides on the compromised replica's normal traffic: every
+// Every-th outbound message also carries protocol-shaped spam — far-future
+// view-change campaigns (validly signed, probing the vcStore per-sender
+// bound), forged view-change signatures, and forged or stale remote
+// view-change requests to other clusters. None of it may move any honest
+// view, and every forged piece must be counted as a verify-reject.
+type ViewChangeSpammer struct {
+	// Every paces the spam: one burst per Every intercepted sends (≤ 0: 8).
+	Every int
+
+	mu   sync.Mutex
+	seen int
+	wave uint64
+}
+
+// Name implements Script.
+func (s *ViewChangeSpammer) Name() string { return "view-change-spammer" }
+
+// Rewrite implements Script.
+func (s *ViewChangeSpammer) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	if to.IsClient() {
+		return nil, false
+	}
+	every := s.Every
+	if every <= 0 {
+		every = 8
+	}
+	s.mu.Lock()
+	s.seen++
+	fire := s.seen%every == 0
+	wave := s.wave
+	if fire {
+		s.wave++
+	}
+	s.mu.Unlock()
+	if !fire {
+		return nil, false
+	}
+	out := []transport.Delivery{{To: to, Msg: msg}} // the real message still flows
+	if a.topo.ClusterOf(to) == a.Cluster() {
+		// Far-future campaign, validly signed: the receiver must keep at
+		// most one stored campaign for us no matter how many we send.
+		far := &pbft.ViewChange{NewView: 1<<20 + wave, Replica: a.id}
+		far.Sig = a.suite.Sign(pbft.ViewChangePayload(far))
+		// Near-view campaign with a forged signature: must hit the
+		// signature check.
+		forged := &pbft.ViewChange{NewView: 2 + wave%32, Replica: a.id, Sig: []byte("forged")}
+		out = append(out, transport.Delivery{To: to, Msg: far}, transport.Delivery{To: to, Msg: forged})
+		a.spammed.Add(2)
+	} else {
+		// Forged remote view-change request against the recipient's cluster…
+		forged := &core.Rvc{Target: a.topo.ClusterOf(to), From: a.Cluster(),
+			Round: 1 + wave, V: wave, Replica: a.id, Sig: []byte("forged")}
+		// …and a stale, validly signed replay of the same request (V never
+		// advances), which must be deduplicated, never accumulate votes.
+		stale := &core.Rvc{Target: a.topo.ClusterOf(to), From: a.Cluster(),
+			Round: 1, V: 0, Replica: a.id}
+		stale.Sig = a.suite.Sign(core.RvcPayload(stale))
+		out = append(out, transport.Delivery{To: to, Msg: forged}, transport.Delivery{To: to, Msg: stale})
+		a.spammed.Add(2)
+	}
+	return out, true
+}
+
+// CatchupTamperer attacks ledger state transfer: real catch-up responses the
+// replica serves are forwarded with deterministically garbled content
+// (corrupted certificate, swapped blocks, tampered batch, broken linkage),
+// and forged responses claiming a fabricated chain are injected at a chosen
+// recovering victim. Every variant must be rejected atomically — the
+// victim's ledger untouched, the rejection counted — and the victim must
+// still converge through honest peers.
+type CatchupTamperer struct {
+	// Victim receives the injected forged responses. types.NoNode selects
+	// the adversary's DefaultVictim.
+	Victim types.NodeID
+	// Inject caps the fabricated responses (≤ 0: 64).
+	Inject int
+
+	mu       sync.Mutex
+	count    int
+	injected int
+}
+
+// Name implements Script.
+func (s *CatchupTamperer) Name() string { return "catchup-tamperer" }
+
+// victim resolves the configured victim.
+func (s *CatchupTamperer) victim(a *Adversary) types.NodeID {
+	if s.Victim == types.NoNode {
+		return a.DefaultVictim()
+	}
+	return s.Victim
+}
+
+// Rewrite implements Script.
+func (s *CatchupTamperer) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	if resp, ok := msg.(*core.CatchUpResp); ok && len(resp.Blocks) > 0 {
+		s.mu.Lock()
+		n := s.count
+		s.count++
+		s.mu.Unlock()
+		a.tampered.Add(1)
+		return []transport.Delivery{{To: to, Msg: tamperResp(resp, n)}}, true
+	}
+	if to.IsClient() {
+		return nil, false
+	}
+	limit := s.Inject
+	if limit <= 0 {
+		limit = 64
+	}
+	s.mu.Lock()
+	inject := s.injected < limit
+	if inject {
+		s.injected++
+	}
+	s.mu.Unlock()
+	if !inject {
+		return nil, false
+	}
+	a.injected.Add(1)
+	return []transport.Delivery{
+		{To: to, Msg: msg}, // the real message still flows
+		{To: s.victim(a), Msg: forgedResp(a)},
+	}, true
+}
+
+// tamperResp builds the n-th deterministic corruption of a real catch-up
+// response without mutating the original (its blocks are shared with the
+// sender's own ledger).
+func tamperResp(resp *core.CatchUpResp, n int) *core.CatchUpResp {
+	blocks := make([]*ledger.Block, len(resp.Blocks))
+	for i, b := range resp.Blocks {
+		nb := *b
+		blocks[i] = &nb
+	}
+	switch n % 4 {
+	case 0: // corrupt the first block's certificate
+		if cert, ok := blocks[0].Cert.(*pbft.Certificate); ok {
+			forged := *cert
+			forged.Sigs = make([][]byte, len(cert.Sigs))
+			for i, sig := range cert.Sigs {
+				forged.Sigs[i] = append([]byte(nil), sig...)
+			}
+			if len(forged.Sigs) > 0 && len(forged.Sigs[0]) > 0 {
+				forged.Sigs[0][0] ^= 0xff
+			}
+			blocks[0].Cert = &forged
+		}
+	case 1: // swap two adjacent blocks (reorders history)
+		if len(blocks) > 1 {
+			blocks[0], blocks[1] = blocks[1], blocks[0]
+		}
+	case 2: // tamper a batch (fresh struct: digest binding must catch it)
+		b := blocks[len(blocks)/2]
+		tampered := types.Batch{Client: b.Batch.Client, Seq: b.Batch.Seq, NoOp: b.Batch.NoOp,
+			Txns: append([]types.Transaction(nil), b.Batch.Txns...)}
+		if len(tampered.Txns) > 0 {
+			tampered.Txns[0].Value ^= 0xbad
+		} else {
+			tampered.Txns = []types.Transaction{{Key: 2, Value: 0xbad}}
+		}
+		b.Batch = tampered
+	case 3: // break the hash-chain linkage mid-range
+		blocks[len(blocks)/2].Prev[0] ^= 0xff
+	}
+	return &core.CatchUpResp{Blocks: blocks, Height: resp.Height}
+}
+
+// forgedResp fabricates a catch-up response from nothing: a well-formed,
+// correctly linked chain of z·2 blocks whose certificates are pure garbage.
+// A recovering victim at height zero will attempt the import and must reject
+// it at certificate re-verification (the linkage is deliberately sealed so
+// the deeper check is the one exercised).
+func forgedResp(a *Adversary) *core.CatchUpResp {
+	z := a.topo.Clusters
+	members := a.topo.ClusterMembers(int(a.Cluster()))
+	quorum := len(members) - a.topo.F()
+	var blocks []*ledger.Block
+	var prev types.Digest
+	for h := uint64(1); h <= uint64(2*z); h++ {
+		batch := types.Batch{Client: types.ClientIDBase, Seq: h,
+			Txns: []types.Transaction{{Key: h, Value: 0xbad}}}
+		batch.PrimeDigest()
+		cert := &pbft.Certificate{
+			View: 0, Seq: (h-1)/uint64(z) + 1, Digest: batch.Digest(), Batch: batch,
+			Signers: append([]types.NodeID(nil), members[:quorum]...),
+		}
+		for range cert.Signers {
+			cert.Sigs = append(cert.Sigs, []byte("forged"))
+		}
+		b := &ledger.Block{
+			Height:      h,
+			Round:       (h-1)/uint64(z) + 1,
+			Cluster:     types.ClusterID((h - 1) % uint64(z)),
+			Batch:       batch,
+			BatchDigest: batch.Digest(),
+			CertDigest:  cert.CertDigest(),
+			Cert:        cert,
+		}
+		b.Seal(prev)
+		prev = b.Hash
+		blocks = append(blocks, b)
+	}
+	return &core.CatchUpResp{Blocks: blocks, Height: uint64(2 * z)}
+}
+
+// Suppressor silently drops the compromised replica's messages to the
+// configured victims — selective starvation, the "gray failure" where a
+// Byzantine replica is responsive to everyone except its targets. Types,
+// when non-empty, restricts suppression to the listed message type tags.
+type Suppressor struct {
+	// Victims are the starved recipients; a types.NoNode entry selects the
+	// adversary's DefaultVictim at interception time.
+	Victims []types.NodeID
+	// Types restricts suppression to these MsgType tags (empty: all).
+	Types []string
+
+	once sync.Once
+	set  map[string]bool
+}
+
+// Name implements Script.
+func (s *Suppressor) Name() string { return "suppressor" }
+
+// Rewrite implements Script.
+func (s *Suppressor) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	s.once.Do(func() {
+		s.set = make(map[string]bool, len(s.Types))
+		for _, t := range s.Types {
+			s.set[t] = true
+		}
+	})
+	for _, v := range s.Victims {
+		if v == types.NoNode {
+			v = a.DefaultVictim()
+		}
+		if v == to {
+			if len(s.set) > 0 && !s.set[msg.MsgType()] {
+				return nil, false
+			}
+			a.suppressed.Add(1)
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// Compose chains scripts: the first script that intercepts a message handles
+// it; later scripts never see it. Use it to combine, say, a spammer with a
+// suppressor on one compromised replica.
+func Compose(scripts ...Script) Script { return composite(scripts) }
+
+// composite is the Script built by Compose.
+type composite []Script
+
+// Name implements Script.
+func (c composite) Name() string {
+	names := make([]string, len(c))
+	for i, s := range c {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Rewrite implements Script.
+func (c composite) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	for _, s := range c {
+		if ds, ok := s.Rewrite(a, to, msg); ok {
+			return ds, true
+		}
+	}
+	return nil, false
+}
+
+// ScriptByName builds a named built-in script for the given compromised
+// replica — the command-line entry point (cmd/resilientdb -adversary).
+// Recognized names: "equivocate", "forge-shares", "vc-spam",
+// "tamper-catchup", "suppress".
+func ScriptByName(name string, topo config.Topology, self types.NodeID) (Script, error) {
+	switch name {
+	case "equivocate":
+		return &EquivocatingPrimary{Rounds: 8, Detector: true}, nil
+	case "forge-shares":
+		return &ShareForger{}, nil
+	case "vc-spam":
+		return &ViewChangeSpammer{}, nil
+	case "tamper-catchup":
+		return &CatchupTamperer{Victim: types.NoNode}, nil
+	case "suppress":
+		return &Suppressor{Victims: []types.NodeID{types.NoNode}}, nil
+	}
+	return nil, fmt.Errorf("byzantine: unknown adversary script %q (want equivocate, forge-shares, vc-spam, tamper-catchup, or suppress)", name)
+}

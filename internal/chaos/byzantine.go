@@ -1,0 +1,265 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdb/internal/byzantine"
+	"resilientdb/internal/types"
+)
+
+// ByzantineScenarios returns the scripted-malice suite: scenarios where up
+// to f replicas per cluster actively attack the protocol — equivocation,
+// forged certificates, view-change spam, tampered state transfer — and the
+// honest majority must preserve both invariants end-to-end: no two honest
+// ledgers ever commit divergent prefixes (safety), and the deployment
+// view-changes past the attacker and resumes committing (liveness). Every
+// scenario also asserts the attack actually ran (adversary counters) and
+// that every forgery landed in Fabric.Stats as a verify-reject instead of
+// vanishing uncounted.
+func ByzantineScenarios() []Scenario {
+	return []Scenario{
+		equivocatingPrimary(),
+		forgedShares(),
+		viewChangeSpam(),
+		tamperedCatchup(),
+	}
+}
+
+// equivocatingPrimary hands cluster 0's primary to an equivocation script:
+// for a few rounds the default victim receives conflicting proposals (and
+// forged votes supporting them) while a detector replica is shown both sides
+// — provable misbehaviour. With exactly f attackers the fork can never
+// commit; the cluster must depose the equivocator through a local view
+// change, the starved victim must recover through catch-up, and every honest
+// ledger must stay prefix-consistent throughout.
+func equivocatingPrimary() Scenario {
+	return Scenario{
+		Name:        "byz-equivocating-primary",
+		Description: "conflicting proposals to disjoint quorums: view change deposes the equivocator, honest prefixes never diverge",
+		Clusters:    2, Replicas: 4,
+		Byzantine: []Role{{Cluster: 0, Index: 0, Script: &byzantine.EquivocatingPrimary{Rounds: 3, Detector: true}}},
+		Run: func(e *Env) error {
+			l0 := e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Arm(0, 0)
+			before := l0.Committed()
+			// Liveness: cluster 0 keeps confirming client batches, which with
+			// an equivocating primary requires deposing it first.
+			if err := e.WaitCommitted(l0, before+3, 90*time.Second); err != nil {
+				return err
+			}
+			e.StopLoads()
+			if err := e.WaitConverged(90 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if v := e.View(0, 2); v == 0 {
+				return fmt.Errorf("chaos: cluster 0 committed past the equivocation without a view change")
+			}
+			if st := e.Adversary(0, 0).Stats(); st.Forked == 0 {
+				return fmt.Errorf("chaos: the equivocation script never forked a proposal")
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// forgedShares hands cluster 1's primary to a certificate forger: every
+// commit certificate it shares cross-cluster is garbled. Cluster 0 must
+// reject each forgery (counted as verify-rejects), block on the missing
+// round, and depose the forger through the remote view-change protocol
+// (Figure 7) so its honest successor re-shares genuine certificates.
+func forgedShares() Scenario {
+	return Scenario{
+		Name:        "byz-forged-shares",
+		Description: "garbled certificates cross-cluster: rejected, counted, and routed around via remote view change",
+		Clusters:    2, Replicas: 4,
+		Byzantine: []Role{{Cluster: 1, Index: 0, Script: &byzantine.ShareForger{}}},
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			pre := e.VerifyRejects()
+			e.Arm(1, 0)
+			h := e.Height(0, 1)
+			// Liveness: cluster 0's execution passes the stall, which needs
+			// genuine cluster-1 certificates — impossible until the remote
+			// view change deposes the forger.
+			if err := e.WaitHeight(0, 1, h+2*uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			e.StopLoads()
+			if err := e.WaitConverged(90 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if v := e.View(1, 2); v == 0 {
+				return fmt.Errorf("chaos: cluster 1 was never forced past its forging primary")
+			}
+			if st := e.Adversary(1, 0).Stats(); st.Tampered == 0 {
+				return fmt.Errorf("chaos: the share forger never forged a certificate")
+			}
+			if got := e.VerifyRejects(); got <= pre {
+				return fmt.Errorf("chaos: forged shares vanished uncounted (verify-rejects %d → %d)", pre, got)
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// viewChangeSpam compromises a cluster-0 backup with a composite script:
+// view-change spam (far-future campaigns, forged signatures, forged and
+// stale remote view-change requests) plus selective suppression of its
+// checkpoints to one victim. A single attacker is below every quorum
+// threshold, so no honest view may move, commits must continue uninterrupted
+// through the spam, and every forgery must be counted.
+func viewChangeSpam() Scenario {
+	return Scenario{
+		Name:        "byz-view-change-spam",
+		Description: "stale/forged view-change spam plus selective suppression: no view moves, commits continue, spam is counted",
+		Clusters:    2, Replicas: 4,
+		Byzantine: []Role{{Cluster: 0, Index: 1, Script: byzantine.Compose(
+			// Victim 3 is replica (0,3): topologies are dense, cluster*n+idx.
+			&byzantine.Suppressor{Victims: []types.NodeID{3}, Types: []string{"pbft/checkpoint"}},
+			&byzantine.ViewChangeSpammer{Every: 4},
+		)}},
+		Run: func(e *Env) error {
+			l0 := e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 2, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			pre := e.VerifyRejects()
+			e.Arm(0, 1)
+			before := l0.Committed()
+			// Liveness under spam: client batches keep confirming while the
+			// attacker floods campaigns and starves the victim's checkpoints.
+			if err := e.WaitCommitted(l0, before+4, 90*time.Second); err != nil {
+				return err
+			}
+			adv := e.Adversary(0, 1)
+			st := adv.Stats()
+			adv.Disarm()
+			e.StopLoads()
+			if err := e.WaitConverged(90 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			for _, idx := range []int{0, 2, 3} {
+				if v := e.View(0, idx); v != 0 {
+					return fmt.Errorf("chaos: spam moved replica (0,%d) to view %d", idx, v)
+				}
+			}
+			if v := e.View(1, 2); v != 0 {
+				return fmt.Errorf("chaos: spam moved cluster 1 to view %d", v)
+			}
+			if st.Spammed == 0 {
+				return fmt.Errorf("chaos: the spammer never spammed")
+			}
+			if st.Suppressed == 0 {
+				return fmt.Errorf("chaos: the suppressor never starved the victim's checkpoints")
+			}
+			if got := e.VerifyRejects(); got <= pre {
+				return fmt.Errorf("chaos: forged campaigns vanished uncounted (verify-rejects %d → %d)", pre, got)
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// tamperedCatchup crashes a backup, lets the deployment advance, then
+// restarts it with amnesia while a compromised local peer attacks its
+// recovery: fabricated catch-up responses are injected at the victim the
+// moment it rejoins, and any genuine response the attacker serves is
+// garbled. Every forgery must be rejected atomically and counted; the victim
+// must still converge to the honest chain through its honest peers.
+func tamperedCatchup() Scenario {
+	return Scenario{
+		Name:        "byz-tampered-catchup",
+		Description: "forged and garbled catch-up responses: rejected, counted, recovery converges via honest peers",
+		Clusters:    2, Replicas: 4,
+		Byzantine: []Role{{Cluster: 0, Index: 1, Script: &byzantine.CatchupTamperer{Victim: types.NoNode, Inject: 64}}},
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 2, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Crash(0, 3)
+			h := e.Height(0, 2)
+			// Leave the crashed replica far behind so recovery genuinely
+			// needs block transfer.
+			if err := e.WaitHeight(0, 2, h+4*uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			pre := e.VerifyRejects()
+			if err := e.Restart(0, 3, false); err != nil { // amnesia
+				return err
+			}
+			// Arm only now: the injected forgeries must race the victim's
+			// genuine catch-up, which starts from height zero.
+			e.Arm(0, 1)
+			time.Sleep(time.Second)
+			e.StopLoads()
+			if err := e.WaitConverged(120 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			st := e.Adversary(0, 1).Stats()
+			if st.Injected == 0 {
+				return fmt.Errorf("chaos: the tamperer never injected a forged response")
+			}
+			if got := e.VerifyRejects(); got <= pre {
+				return fmt.Errorf("chaos: forged catch-up responses vanished uncounted (verify-rejects %d → %d)", pre, got)
+			}
+			rep := e.Fab.Replica(e.ReplicaID(0, 3))
+			if got := rep.CatchUpBlocks(); got == 0 {
+				return fmt.Errorf("chaos: the victim recovered nothing over the network")
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// TeethScenario is the harness's self-test: the same equivocation attack,
+// but run by a coalition of f+1 replicas (the primary plus a double-voter) —
+// one more than the protocol tolerates. Both sides of the fork gather
+// quorums, two honest replicas commit divergent blocks, and the scenario
+// SUCCEEDS only when AssertPrefixes detects the divergence within the
+// timeout: a harness whose invariant checks cannot fail proves nothing.
+func TeethScenario() Scenario {
+	return Scenario{
+		Name:        "teeth-equivocation-coalition",
+		Description: "f+1 coalition commits both sides of a fork: the prefix auditor must detect the divergence",
+		Clusters:    2, Replicas: 4,
+		AllowOverF: true,
+		Byzantine: []Role{
+			{Cluster: 0, Index: 0, Script: &byzantine.EquivocatingPrimary{}},
+			{Cluster: 0, Index: 1, Script: byzantine.DoubleVoter{}},
+		},
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 2, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Arm(0, 0)
+			e.Arm(0, 1)
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				if err := e.AssertPrefixes(); err != nil {
+					e.Logf("chaos: divergence detected as expected: %v", err)
+					e.StopLoads()
+					return nil
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			return fmt.Errorf("chaos: a >f coalition failed to break safety — the invariant checks have no teeth")
+		},
+	}
+}

@@ -1,14 +1,18 @@
 // Package chaos is a deterministic fault-injection harness for the
 // ResilientDB fabric: scripted scenarios crash primaries, partition
-// clusters, and restart replicas with or without their disk, then assert
-// the guarantees the paper claims for GeoBFT — safety (every replica's
-// ledger verifies and all ledgers are prefixes of one another) and liveness
-// (the commit height advances again once the fault heals or is routed
-// around by local/remote view changes).
+// clusters, restart replicas with or without their disk, and hand up to f
+// replicas per cluster to scripted Byzantine adversaries
+// (internal/byzantine), then assert the guarantees the paper claims for
+// GeoBFT — safety (every honest replica's ledger verifies and all honest
+// ledgers are prefixes of one another) and liveness (the commit height
+// advances again once the fault heals or is routed around by local/remote
+// view changes).
 //
 // Scenarios run a real fabric over the in-process transport wrapped in
-// transport.Faulty, so every drop decision comes from a fixed seed. The
-// suite runs in tier-1 (`go test ./internal/chaos`) and via `make chaos`.
+// transport.Faulty (and, with Byzantine roles, transport.Tap), so every
+// injected decision comes from a fixed seed. The suite runs in tier-1
+// (`go test ./internal/chaos`) and via `make chaos`; set CHAOS_SEED to
+// replay one seed byte-for-byte (see the README's seed-replay workflow).
 package chaos
 
 import (
@@ -20,8 +24,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resilientdb/internal/byzantine"
 	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
 	"resilientdb/internal/fabric"
+	"resilientdb/internal/ledger"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -39,25 +46,61 @@ type Scenario struct {
 	// directory, so restarts recover from real files (and the scenario can
 	// corrupt those files to model torn writes).
 	Disk bool
+	// Byzantine hands replicas to scripted adversaries. Compromised
+	// replicas keep running their honest state machine, but every message
+	// they send passes through the role's attack script. They are excluded
+	// from the safety and convergence assertions (the invariants GeoBFT
+	// claims are over honest replicas). Run refuses more than f roles per
+	// cluster unless AllowOverF is set.
+	Byzantine []Role
+	// AllowOverF lifts the per-cluster fault-bound check on Byzantine
+	// roles. It exists only for the harness's own teeth tests, which prove
+	// the invariant checks fail once the >f assumption is violated.
+	AllowOverF bool
 	// Run drives the deployment; a non-nil error is an assertion failure.
 	Run func(e *Env) error
 }
 
+// Role assigns an attack script to one replica of the topology.
+type Role struct {
+	// Cluster and Index locate the compromised replica.
+	Cluster, Index int
+	// Script is the deterministic attack it runs (see internal/byzantine).
+	Script byzantine.Script
+}
+
 // Run executes one scenario against a fresh deployment whose fault injector
-// is seeded with seed. logf (optional) receives progress lines.
+// (and adversary fleet, with Byzantine roles) is seeded with seed. logf
+// (optional) receives progress lines.
 func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	topo := config.NewTopology(s.Clusters, s.Replicas)
+	if err := checkFaultBound(s, topo); err != nil {
+		return err
+	}
 	net := transport.NewFaulty(transport.NewMem(), seed)
+	var tr transport.Transport = net
+	byz := make(map[types.NodeID]*byzantine.Adversary, len(s.Byzantine))
+	if len(s.Byzantine) > 0 {
+		fleet := byzantine.NewFleet(seed)
+		for _, role := range s.Byzantine {
+			id := topo.ReplicaID(role.Cluster, role.Index)
+			byz[id] = fleet.Adversary(topo, crypto.Real, id, role.Script)
+		}
+		// The tap wraps the fault injector: a compromised replica's rewritten
+		// deliveries experience the same drops and partitions as honest
+		// traffic.
+		tr = transport.NewTap(net, fleet.Intercept)
+	}
 	cfg := fabric.Config{
 		Topo:          topo,
 		BatchSize:     4,
 		Records:       128,
 		LocalTimeout:  400 * time.Millisecond,
 		RemoteTimeout: 700 * time.Millisecond,
-		Transport:     net,
+		Transport:     tr,
 	}
 	var dataDir string
 	if s.Disk {
@@ -79,10 +122,29 @@ func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 		Logf:    logf,
 		dataDir: dataDir,
 		crashed: make(map[types.NodeID]bool),
+		byz:     byz,
 	}
 	defer e.StopAll()
-	logf("chaos/%s: z=%d n=%d seed=%d disk=%v", s.Name, s.Clusters, s.Replicas, seed, s.Disk)
+	logf("chaos/%s: z=%d n=%d seed=%d disk=%v byzantine=%d", s.Name, s.Clusters, s.Replicas, seed, s.Disk, len(s.Byzantine))
 	return s.Run(e)
+}
+
+// checkFaultBound enforces the ≤ f Byzantine replicas per cluster assumption
+// the protocol's guarantees rest on (unless the scenario explicitly opts out
+// to prove what happens beyond it).
+func checkFaultBound(s Scenario, topo config.Topology) error {
+	if s.AllowOverF {
+		return nil
+	}
+	perCluster := make(map[int]int)
+	for _, role := range s.Byzantine {
+		perCluster[role.Cluster]++
+		if perCluster[role.Cluster] > topo.F() {
+			return fmt.Errorf("chaos: scenario %s violates the fault bound: %d byzantine replicas in cluster %d, protocol tolerates f=%d (set AllowOverF to test beyond the bound)",
+				s.Name, perCluster[role.Cluster], role.Cluster, topo.F())
+		}
+	}
+	return nil
 }
 
 // Env is the running deployment a scenario manipulates and asserts against.
@@ -101,7 +163,32 @@ type Env struct {
 	crashed map[types.NodeID]bool
 	stopped bool
 	dataDir string // scenario-scoped block-store root ("" unless Scenario.Disk)
+	byz     map[types.NodeID]*byzantine.Adversary
 }
+
+// Adversary returns the attack runtime compromising a replica (nil for
+// honest replicas), so scenarios can arm it and assert on its action
+// counters.
+func (e *Env) Adversary(cluster, idx int) *byzantine.Adversary {
+	return e.byz[e.ReplicaID(cluster, idx)]
+}
+
+// Arm activates a compromised replica's attack script (scripts start dormant
+// so the scenario can prove the deployment healthy first). It panics on an
+// honest replica — that is a scenario bug.
+func (e *Env) Arm(cluster, idx int) {
+	adv := e.Adversary(cluster, idx)
+	if adv == nil {
+		panic(fmt.Sprintf("chaos: Arm(%d,%d): replica has no byzantine role", cluster, idx))
+	}
+	e.Logf("chaos: arming %s on %v", adv.Script().Name(), adv.ID())
+	adv.Arm()
+}
+
+// VerifyRejects reads the deployment's forged-message counter: every message
+// discarded by a cryptographic check, pooled or inline (see
+// metrics.DropStats.VerifyReject).
+func (e *Env) VerifyRejects() uint64 { return e.Fab.Stats().VerifyReject }
 
 // NodeDir returns a replica's block-store directory in a disk-backed
 // scenario, so scripts can corrupt its files while the replica is down.
@@ -174,13 +261,16 @@ func (e *Env) Restart(cluster, idx int, keepLedger bool) error {
 	return nil
 }
 
-// live returns the ids of replicas that are not crashed.
+// live returns the ids of honest replicas that are not crashed. Compromised
+// replicas are excluded: the invariants every scenario asserts — prefix
+// safety, convergence — are GeoBFT's claims about honest replicas (a
+// Byzantine node's ledger is its own problem).
 func (e *Env) live() []types.NodeID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var out []types.NodeID
 	for _, id := range e.Topo.AllReplicas() {
-		if !e.crashed[id] {
+		if !e.crashed[id] && e.byz[id] == nil {
 			out = append(out, id)
 		}
 	}
@@ -232,9 +322,9 @@ func (e *Env) WaitCommitted(l *Loader, target uint64, timeout time.Duration) err
 	}
 }
 
-// WaitConverged polls until every live replica reports the same non-zero
-// ledger height and head, then verifies every chain. This is the combined
-// safety+liveness postcondition of each scenario.
+// WaitConverged polls until every live honest replica reports the same
+// non-zero ledger height and head, then verifies every chain. This is the
+// combined safety+liveness postcondition of each scenario.
 func (e *Env) WaitConverged(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var last error
@@ -274,22 +364,20 @@ func (e *Env) converged() error {
 	return nil
 }
 
-// AssertPrefixes checks the pure safety property mid-fault: every pair of
-// replica ledgers (crashed ones included — their frozen state must never
-// contradict the live chain) are prefixes of one another.
+// AssertPrefixes checks the pure safety property mid-fault through the
+// cross-node prefix auditor (ledger.AuditPrefixes): every pair of honest
+// replica ledgers — crashed ones included; their frozen state must never
+// contradict the live chain — verifies and is prefix-ordered. Compromised
+// replicas are excluded: safety is a claim about honest replicas only.
 func (e *Env) AssertPrefixes() error {
-	all := e.Topo.AllReplicas()
-	for i, a := range all {
-		la := e.Fab.Replica(a).Ledger()
-		if err := la.Verify(); err != nil {
-			return fmt.Errorf("chaos: %v: %w", a, err)
+	ledgers := make(map[string]*ledger.Ledger)
+	for _, id := range e.Topo.AllReplicas() {
+		if e.byz[id] == nil {
+			ledgers[id.String()] = e.Fab.Replica(id).Ledger()
 		}
-		for _, b := range all[i+1:] {
-			lb := e.Fab.Replica(b).Ledger()
-			if !la.PrefixOf(lb) && !lb.PrefixOf(la) {
-				return fmt.Errorf("chaos: ledgers of %v and %v diverge", a, b)
-			}
-		}
+	}
+	if err := ledger.AuditPrefixes(ledgers); err != nil {
+		return fmt.Errorf("chaos: %w", err)
 	}
 	return nil
 }

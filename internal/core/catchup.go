@@ -119,7 +119,11 @@ func (r *Replica) onCatchUpResp(from types.NodeID, m *CatchUpResp) {
 		return
 	}
 	if err := r.applyImportedBlocks(blocks[start:], true); err != nil {
-		return // malformed or forged range: ledger untouched, next tick retries
+		// Malformed or forged range: the ledger is untouched and the next
+		// tick retries another peer. Counted — a tampered catch-up response
+		// must land in the drop statistics, not vanish.
+		r.noteReject()
+		return
 	}
 	if m.Height > r.ledger.Height() {
 		// The peer holds more: pull the next range immediately instead of

@@ -112,8 +112,12 @@ func (c *CatchUpResp) WireSize() int {
 	return size
 }
 
-// rvcPayload is the canonical signed content of an Rvc message.
-func rvcPayload(m *Rvc) []byte {
+// RvcPayload is the canonical signed content of an Rvc message. It is
+// exported as an attack seam for the byzantine adversary harness
+// (internal/byzantine), which signs stale or spurious remote view-change
+// requests with the compromised replica's own key; honest-path behaviour is
+// unchanged and no seam here lets anyone forge another replica's signature.
+func RvcPayload(m *Rvc) []byte {
 	enc := types.NewEncoder(64)
 	enc.String("geobft/RVC")
 	enc.I32(int32(m.Target))

@@ -45,6 +45,14 @@ type Config struct {
 	// OnExecute, if set, observes every executed batch in execution order
 	// (the fabric surfaces committed blocks to applications through it).
 	OnExecute func(round uint64, cluster types.ClusterID, batch types.Batch)
+	// OnVerifyReject, if set, observes every inbound message the replica
+	// discards because a cryptographic check failed or the message is
+	// provably forged or mis-routed (bad certificate or Rvc signature,
+	// digest mismatch, spoofed identity, an unimportable catch-up range) —
+	// never merely stale or duplicate traffic. The fabric counts these into
+	// Fabric.Stats so forged messages land in the drop statistics whether
+	// they are rejected by the parallel verify pool or inline on the worker.
+	OnVerifyReject func()
 }
 
 func (c *Config) withDefaults() Config {
@@ -201,7 +209,16 @@ func (r *Replica) InitEnv(env proto.Env) {
 			}
 			r.scheduleCatchup()
 		},
+		Rejected: r.noteReject,
 	})
+}
+
+// noteReject reports one forged or cryptographically invalid inbound message
+// (see Config.OnVerifyReject).
+func (r *Replica) noteReject() {
+	if r.cfg.OnVerifyReject != nil {
+		r.cfg.OnVerifyReject()
+	}
 }
 
 // Receive implements simnet.Handler: it dispatches global GeoBFT messages
@@ -391,6 +408,7 @@ func (r *Replica) shareRound(seq uint64, cert *pbft.Certificate) {
 func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare, pre bool) {
 	c := int(m.Cluster)
 	if c < 0 || c >= r.cfg.Topo.Clusters || c == r.myCluster {
+		r.noteReject() // malformed origin: PreVerify rejects these too
 		return
 	}
 	if m.Round <= r.executedRound.Load() {
@@ -400,6 +418,7 @@ func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare, pre bool) {
 		return // duplicate
 	}
 	if m.Cert == nil || m.Cert.Seq != m.Round {
+		r.noteReject()
 		return
 	}
 	// Verify the forwarded certificate against the origin cluster's
@@ -407,6 +426,7 @@ func (r *Replica) onGlobalShare(from types.NodeID, m *GlobalShare, pre bool) {
 	if !pre {
 		members := r.cfg.Topo.ClusterMembers(c)
 		if !m.Cert.Verify(r.env.Suite(), members, r.quorum()) {
+			r.noteReject() // forged or garbled certificate
 			return
 		}
 	}
@@ -657,7 +677,7 @@ func (r *Replica) recordDRvc(k drvcKey, from types.NodeID) {
 			Target: k.target, From: types.ClusterID(r.myCluster),
 			Round: k.round, V: k.v, Replica: r.cfg.Self,
 		}
-		rvc.Sig = r.env.Suite().Sign(rvcPayload(rvc))
+		rvc.Sig = r.env.Suite().Sign(RvcPayload(rvc))
 		r.env.Suite().ChargeMAC()
 		r.env.Send(peer, rvc)
 	}
@@ -686,12 +706,15 @@ func (r *Replica) detectFailureAt(k drvcKey) {
 // signature already passed PreVerify.
 func (r *Replica) onRvc(from types.NodeID, m *Rvc, pre bool) {
 	if int(m.Target) != r.myCluster || m.Replica != from && int(r.cfg.Topo.ClusterOf(from)) != r.myCluster {
+		r.noteReject() // mis-routed or relayed by an outsider
 		return
 	}
-	if !pre && !r.env.Suite().Verify(m.Replica, rvcPayload(m), m.Sig) {
+	if !pre && !r.env.Suite().Verify(m.Replica, RvcPayload(m), m.Sig) {
+		r.noteReject() // forged remote view-change signature
 		return
 	}
 	if int(r.cfg.Topo.ClusterOf(m.Replica)) != int(m.From) || int(m.From) == r.myCluster {
+		r.noteReject() // claimed origin does not match the signer's cluster
 		return
 	}
 	k := rvcKey{from: m.From, round: m.Round, v: m.V}

@@ -48,7 +48,7 @@ func (r *Replica) PreVerify(suite *crypto.Suite, from types.NodeID, msg types.Me
 			int(r.cfg.Topo.ClusterOf(m.Replica)) != int(m.From) {
 			return proto.VerdictReject
 		}
-		if !suite.Verify(m.Replica, rvcPayload(m), m.Sig) {
+		if !suite.Verify(m.Replica, RvcPayload(m), m.Sig) {
 			return proto.VerdictReject
 		}
 		return proto.VerdictVerified

@@ -68,17 +68,23 @@ func decodeRvc(dec *types.Decoder) types.Message {
 }
 
 // minBlockBytes is a conservative lower bound on one encoded block (Height +
-// Round + Cluster + minimal batch + cert flag), bounding decode allocations.
-const minBlockBytes = 8 + 8 + 4 + (4 + 8 + 1 + 4) + 1
+// Round + Cluster + Prev + Hash + minimal batch + cert flag), bounding decode
+// allocations.
+const minBlockBytes = 8 + 8 + 4 + 32 + 32 + (4 + 8 + 1 + 4) + 1
 
-// encodeBlockBody appends the wire form of one ledger block. Prev, Hash,
-// BatchDigest and CertDigest are derived fields and do not travel; the
-// certificate's Seq/Digest/Batch duplicate block fields, so only its view
-// and signer set are encoded and the decoder reconstructs the rest.
+// encodeBlockBody appends the wire form of one ledger block. Prev and Hash
+// travel with the block so the importer can hold the exporter to its claimed
+// hash-chain linkage end-to-end — ledger.Import rejects a range that splices
+// two histories (or zeroes the linkage to hide one) at the import boundary.
+// BatchDigest and CertDigest stay derived; the certificate's Seq/Digest/Batch
+// duplicate block fields, so only its view and signer set are encoded and the
+// decoder reconstructs the rest.
 func encodeBlockBody(enc *types.Encoder, b *ledger.Block) {
 	enc.U64(b.Height)
 	enc.U64(b.Round)
 	enc.I32(int32(b.Cluster))
+	enc.Digest(b.Prev)
+	enc.Digest(b.Hash)
 	b.Batch.Encode(enc)
 	cert, _ := b.Cert.(*pbft.Certificate)
 	enc.Bool(cert != nil)
@@ -94,6 +100,8 @@ func decodeBlockBody(dec *types.Decoder) *ledger.Block {
 	b.Height = dec.U64()
 	b.Round = dec.U64()
 	b.Cluster = types.ClusterID(dec.I32())
+	b.Prev = dec.Digest()
+	b.Hash = dec.Digest()
 	b.Batch = types.DecodeBatch(dec)
 	b.BatchDigest = b.Batch.Digest() // cached at decode; reflects wire bytes
 	if dec.Bool() {

@@ -478,6 +478,10 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 		ClientCluster: func(cl types.NodeID) int {
 			return int(cl-types.ClientIDBase) % f.cfg.Topo.Clusters
 		},
+		// Forged messages rejected inline on the worker (the serial path, or
+		// checks the verify pool cannot run statelessly) land in the same
+		// counter as pool rejections: nothing vanishes uncounted.
+		OnVerifyReject: func() { n.drops.VerifyReject.Add(1) },
 	}
 	if f.cfg.OnExecute != nil {
 		hook := f.cfg.OnExecute

@@ -89,7 +89,13 @@ const (
 	segPrefix = "seg-"
 	segSuffix = ".rdb"
 	headerLen = 16
-	formatVer = 1
+	// formatVer names the record encoding inside a segment. Version 2 added
+	// the block's Prev/Hash linkage digests to the record payload (the
+	// catch-up wire codec carries them so ledger.Import can enforce strict
+	// linkage); version-1 stores fail Open loudly instead of silently
+	// decoding garbage — wipe the data directory and let the node recover
+	// over the network (an amnesia restart).
+	formatVer = 2
 )
 
 var segMagic = [4]byte{'R', 'D', 'B', 'L'}
@@ -234,6 +240,17 @@ scan:
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("disk: %w", err)
+		}
+		if len(data) >= headerLen && [4]byte(data[:4]) == segMagic {
+			if v := binary.BigEndian.Uint32(data[4:8]); v != formatVer {
+				// A cleanly written header with a different version is not a
+				// crash artifact — the store was written by a different
+				// build of the record codec. Deleting it would be silent
+				// data loss; fail loudly and let the operator wipe the
+				// directory for an amnesia restart.
+				return nil, fmt.Errorf("%w: segment %d has format version %d, this build reads %d",
+					ErrCorrupt, idx, v, formatVer)
+			}
 		}
 		if len(data) < headerLen || [4]byte(data[:4]) != segMagic ||
 			binary.BigEndian.Uint32(data[4:8]) != formatVer ||

@@ -160,6 +160,119 @@ func TestImportRejectsTampered(t *testing.T) {
 	}
 }
 
+// equivocatingLedgers builds two chains that share a common prefix of
+// `common` rounds and then diverge: the same rounds carry different batches
+// (and different — individually "valid", as far as the verify callback is
+// concerned — certificates) on each side. This is the shape a >f-faulty
+// cluster could produce; the import boundary must still refuse to splice
+// them together.
+func equivocatingLedgers(common, extra, z int) (a, b *Ledger) {
+	a, b = New(), New()
+	for r := 1; r <= common; r++ {
+		for c := 0; c < z; c++ {
+			bt := batch(c, uint64(r), 3)
+			a.AppendCertified(uint64(r), types.ClusterID(c), bt, fakeCert{d: types.Hash([]byte{byte(r), byte(c)})})
+			b.AppendCertified(uint64(r), types.ClusterID(c), bt, fakeCert{d: types.Hash([]byte{byte(r), byte(c)})})
+		}
+	}
+	for r := common + 1; r <= common+extra; r++ {
+		for c := 0; c < z; c++ {
+			ba := batch(c, uint64(r), 3)
+			bb := batch(c+100, uint64(r), 3) // the equivocated twin
+			a.AppendCertified(uint64(r), types.ClusterID(c), ba, fakeCert{d: types.Hash([]byte{'a', byte(r), byte(c)})})
+			b.AppendCertified(uint64(r), types.ClusterID(c), bb, fakeCert{d: types.Hash([]byte{'b', byte(r), byte(c)})})
+		}
+	}
+	return a, b
+}
+
+// TestImportRejectsSplicedEquivocatingHistories is the prefix-safety check at
+// the import boundary: a replica holding a prefix of history A is offered the
+// suffix of an equivocating history B whose blocks all carry individually
+// acceptable certificates. The hash-chain linkage — which now always travels
+// with the block — must reject the splice, whether the forger presents B's
+// genuine linkage or tries to hide it.
+func TestImportRejectsSplicedEquivocatingHistories(t *testing.T) {
+	histA, histB := equivocatingLedgers(2, 2, 2)
+
+	// The importer already committed history A past the divergence point
+	// (heights 1–6: the shared prefix plus one equivocated round of A).
+	dst := New()
+	if err := dst.Import(histA.Export(1, 6), nil); err != nil {
+		t.Fatal(err)
+	}
+	h, head := dst.Height(), dst.Head()
+	accept := func(*Block) error { return nil } // every certificate "verifies"
+
+	// Splice attempt 1: B's suffix with its genuine linkage. The first
+	// block's Prev names B's divergent round 3, not ours.
+	if err := dst.Import(histB.Export(7, 0), accept); err == nil {
+		t.Fatal("spliced suffix with foreign linkage accepted")
+	}
+
+	// Splice attempt 2: the forger zeroes Prev/Hash to hide the foreign
+	// linkage. Zeroed linkage must be rejected too, not treated as a wildcard.
+	hidden := deepCopyBlocks(histB.Export(7, 0))
+	for _, b := range hidden {
+		b.Prev, b.Hash = types.Digest{}, types.Digest{}
+	}
+	if err := dst.Import(hidden, accept); err == nil {
+		t.Fatal("spliced suffix with zeroed linkage accepted")
+	}
+
+	// Splice attempt 3: the forger re-seals B's suffix onto our head with
+	// Block.Seal, producing self-consistent linkage. The splice is now
+	// undetectable by hashing alone — exactly why Import runs the verify
+	// callback (certificate re-verification) before accepting; with ≤f faults
+	// per cluster no equivocating certificate verifies, so the protocol-layer
+	// callback is the check with teeth. Here the callback models it.
+	sealed := deepCopyBlocks(histB.Export(7, 0))
+	prev := head
+	for _, b := range sealed {
+		b.Seal(prev)
+		prev = b.Hash
+	}
+	refuse := func(b *Block) error {
+		if b.Height > 6 {
+			return errors.New("equivocating certificate")
+		}
+		return nil
+	}
+	if err := dst.Import(sealed, refuse); err == nil {
+		t.Fatal("re-sealed splice accepted despite certificate rejection")
+	}
+
+	if dst.Height() != h || dst.Head() != head {
+		t.Fatalf("rejected splice mutated the ledger: height %d→%d", h, dst.Height())
+	}
+	// The genuine continuation of history A still imports.
+	if err := dst.Import(histA.Export(7, 0), accept); err != nil {
+		t.Fatalf("genuine suffix rejected: %v", err)
+	}
+}
+
+// TestAuditPrefixes exercises the cross-node safety auditor over agreeing,
+// lagging, and diverging chains.
+func TestAuditPrefixes(t *testing.T) {
+	histA, histB := equivocatingLedgers(2, 1, 2)
+	lagging := New()
+	if err := lagging.Import(histA.Export(1, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditPrefixes(map[string]*Ledger{"a": histA, "lag": lagging}); err != nil {
+		t.Fatalf("prefix-ordered chains failed the audit: %v", err)
+	}
+	err := AuditPrefixes(map[string]*Ledger{"a": histA, "b": histB, "lag": lagging})
+	if err == nil {
+		t.Fatal("diverging chains passed the audit")
+	}
+	// Tampering must fail the per-chain verification pass.
+	histA.Block(3).Batch.Txns[0].Value ^= 1
+	if err := AuditPrefixes(map[string]*Ledger{"a": histA}); err == nil {
+		t.Fatal("tampered chain passed the audit")
+	}
+}
+
 // FuzzLedgerImport mutates exported block ranges and asserts the atomicity
 // contract: a rejected import leaves the ledger byte-identical, an accepted
 // one leaves it verifiable.

@@ -45,10 +45,28 @@ type Block struct {
 	// cannot be exported for catch-up.
 	Cert Certificate
 	// Prev is the hash of the previous block (zero for the first block).
+	// It travels on the catch-up wire and in the disk store, and Import
+	// requires it to match the chain being extended — a range that splices
+	// two histories is rejected at the boundary even when every certificate
+	// it carries is individually valid.
 	Prev types.Digest
 	// Hash is the block's own hash over all fields above (excluding the
-	// certificate — see blockHash).
+	// certificate — see blockHash). Like Prev it travels with the block and
+	// Import requires it to match the recomputed value.
 	Hash types.Digest
+}
+
+// Seal completes a hand-built block's linkage fields: Prev is set to the
+// given predecessor hash and Hash recomputed over the contents. Chains built
+// through Append/AppendCertified/Import never need it — those paths derive
+// linkage as blocks enter the chain. It exists for code that constructs
+// blocks outside a ledger (the byzantine adversary harness forging catch-up
+// ranges, tests building spliced histories) so that Import's deeper checks —
+// certificate verification, layout invariants — decide their fate instead of
+// a trivially detectable zeroed linkage field.
+func (b *Block) Seal(prev types.Digest) {
+	b.Prev = prev
+	b.Hash = blockHash(b)
 }
 
 // blockHash covers the ordered content of the chain. The commit certificate
@@ -291,12 +309,17 @@ func (l *Ledger) Export(from uint64, max int) []*Block {
 // Import verifies blocks as a contiguous, hash-chained extension of the chain
 // and appends them atomically: on any error the ledger is unchanged. Each
 // block's height must continue the chain, its batch must hash to BatchDigest
-// (recomputed, so corruption is caught), and its Prev/Hash fields — when set
-// by the exporter; wire-decoded blocks leave them zero — must match the
-// recomputed linkage. verify, if non-nil, runs before any mutation and is
-// where the protocol layer re-verifies the commit certificate against the
-// origin cluster's membership (Section 3: a recovering replica copies the
-// ledger from untrusted peers and validates it locally).
+// (recomputed, so corruption is caught), its Prev must equal the hash of the
+// block it extends, and its Hash must equal the recomputed value. Prev and
+// Hash travel with the block (the catch-up wire codec and the disk store
+// both carry them), so the linkage requirement is strict: a range that
+// splices two histories — or hides its origin by zeroing the linkage — is
+// rejected at the import boundary even when every commit certificate it
+// carries is individually valid. verify, if non-nil, runs before any
+// mutation and is where the protocol layer re-verifies the commit
+// certificate against the origin cluster's membership (Section 3: a
+// recovering replica copies the ledger from untrusted peers and validates it
+// locally).
 func (l *Ledger) Import(blocks []*Block, verify func(*Block) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -317,21 +340,22 @@ func (l *Ledger) Import(blocks []*Block, verify func(*Block) error) error {
 		if got := b.Batch.RecomputedDigest(); got != b.BatchDigest {
 			return fmt.Errorf("ledger: import: block %d batch digest mismatch", want)
 		}
-		if !b.Prev.IsZero() && b.Prev != prev {
+		if b.Prev != prev {
 			return fmt.Errorf("ledger: import: block %d breaks the hash chain", want)
+		}
+		// Stage a copy with the derived fields completed; the caller's blocks
+		// (possibly shared with another ledger) are never mutated. The cheap
+		// linkage checks run before the verify callback so a garbled range is
+		// rejected without paying for certificate verification.
+		nb := *b
+		nb.Hash = blockHash(&nb)
+		if b.Hash != nb.Hash {
+			return fmt.Errorf("ledger: import: block %d hash mismatch", want)
 		}
 		if verify != nil {
 			if err := verify(b); err != nil {
 				return fmt.Errorf("ledger: import: block %d: %w", want, err)
 			}
-		}
-		// Stage a copy with the derived fields completed; the caller's blocks
-		// (possibly shared with another ledger) are never mutated.
-		nb := *b
-		nb.Prev = prev
-		nb.Hash = blockHash(&nb)
-		if !b.Hash.IsZero() && b.Hash != nb.Hash {
-			return fmt.Errorf("ledger: import: block %d hash mismatch", want)
 		}
 		if nb.Cert != nil {
 			nb.CertDigest = nb.Cert.CertDigest()

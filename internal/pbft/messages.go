@@ -184,7 +184,12 @@ func (c *CatchupReply) WireSize() int {
 // Signing payloads. Each is a canonical encoding with a distinct tag so
 // signatures can never be confused across message kinds.
 
-func preparePayload(view, seq uint64, digest types.Digest) []byte {
+// PreparePayload is the canonical signed content of a Prepare message. It is
+// exported as an attack seam: the byzantine adversary harness
+// (internal/byzantine) constructs protocol-shaped votes signed with the
+// compromised replica's own key; the honest path is unchanged, and no seam
+// here lets anyone forge another replica's signature.
+func PreparePayload(view, seq uint64, digest types.Digest) []byte {
 	enc := types.NewEncoder(64)
 	enc.String("pbft/PR")
 	enc.U64(view)
@@ -212,7 +217,10 @@ func checkpointPayload(seq uint64, digest types.Digest) []byte {
 	return enc.Bytes()
 }
 
-func viewChangePayload(v *ViewChange) []byte {
+// ViewChangePayload is the canonical signed content of a ViewChange message.
+// Exported as an attack seam like PreparePayload: the adversary harness signs
+// spam campaigns with its own key to probe the view-change spam defenses.
+func ViewChangePayload(v *ViewChange) []byte {
 	enc := types.NewEncoder(256)
 	enc.String("pbft/VC")
 	enc.U64(v.NewView)

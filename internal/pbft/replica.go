@@ -63,6 +63,13 @@ type Hooks struct {
 	// (GeoBFT) uses it to trigger ledger catch-up; the replica's own
 	// window-bounded certificate catch-up runs regardless.
 	Behind func(seq uint64)
+	// Rejected fires when an inbound message is discarded because a
+	// cryptographic check failed or it is provably forged (bad signature,
+	// digest/batch mismatch, spoofed sender identity, malformed view-change
+	// or new-view content) — never for merely stale or duplicate traffic.
+	// The fabric counts these into its drop statistics so forged messages
+	// land in Fabric.Stats as verify-rejects instead of vanishing uncounted.
+	Rejected func()
 }
 
 // voteKey identifies the proposal a prepare/commit vote supports. Votes are
@@ -161,6 +168,14 @@ func NewReplica(env proto.Env, cfg Config, hooks Hooks) *Replica {
 
 // quorum is the paper's n−f acceptance threshold.
 func (r *Replica) quorum() int { return r.n - r.cfg.F }
+
+// reject reports one forged or cryptographically invalid inbound message to
+// the composing layer (see Hooks.Rejected).
+func (r *Replica) reject() {
+	if r.hooks.Rejected != nil {
+		r.hooks.Rejected()
+	}
+}
 
 // PrimaryOf returns the primary of view v.
 func (r *Replica) PrimaryOf(v uint64) types.NodeID {
@@ -351,6 +366,7 @@ func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare, pre bool) {
 		return
 	}
 	if !pre && m.Batch.Digest() != m.Digest {
+		r.reject()
 		return
 	}
 	e := r.entryAt(m.Seq)
@@ -374,7 +390,7 @@ func (r *Replica) onPrePrepare(from types.NodeID, m *PrePrepare, pre bool) {
 	r.armProgressTimer()
 
 	// Phase one: broadcast a prepare in support.
-	sig := r.env.Suite().Sign(preparePayload(m.View, m.Seq, m.Digest))
+	sig := r.env.Suite().Sign(PreparePayload(m.View, m.Seq, m.Digest))
 	p := &Prepare{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: r.env.ID(), Sig: sig}
 	r.broadcast(p)
 	e.votes(e.prepares, e.key())[r.env.ID()] = sig
@@ -385,7 +401,11 @@ func (r *Replica) onPrepare(from types.NodeID, m *Prepare) {
 	// Votes for the current or any future view are bucketed; only stale
 	// views are discarded. This keeps votes that raced ahead of their
 	// preprepare or of our view-change installation.
-	if m.View < r.view || !r.inWindow(m.Seq) || m.Replica != from {
+	if m.Replica != from {
+		r.reject() // spoofed vote identity
+		return
+	}
+	if m.View < r.view || !r.inWindow(m.Seq) {
 		return
 	}
 	e := r.entryAt(m.Seq)
@@ -425,7 +445,11 @@ func (r *Replica) sendCommit(seq uint64, e *entry) {
 // onCommit applies a commit vote. pre marks votes whose signature already
 // passed PreVerify.
 func (r *Replica) onCommit(from types.NodeID, m *Commit, pre bool) {
-	if !r.inWindow(m.Seq) || m.Replica != from {
+	if m.Replica != from {
+		r.reject() // spoofed vote identity
+		return
+	}
+	if !r.inWindow(m.Seq) {
 		return
 	}
 	e := r.entryAt(m.Seq)
@@ -436,6 +460,7 @@ func (r *Replica) onCommit(from types.NodeID, m *Commit, pre bool) {
 	// Commit signatures are verified on receipt: they end up in
 	// certificates that other clusters check.
 	if !pre && !r.env.Suite().Verify(from, CommitPayload(m.View, m.Seq, m.Digest), m.Sig) {
+		r.reject()
 		return
 	}
 	set[from] = m.Sig
@@ -639,6 +664,7 @@ func (r *Replica) AdoptCertificate(cert *Certificate) {
 		return
 	}
 	if !cert.Verify(r.env.Suite(), r.cfg.Members, r.quorum()) {
+		r.reject()
 		return
 	}
 	e := r.entryAt(cert.Seq)

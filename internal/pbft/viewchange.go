@@ -86,11 +86,29 @@ func (r *Replica) buildViewChange(v uint64) *ViewChange {
 		StableProof: r.stableProof,
 		Prepared:    prepared,
 	}
-	vc.Sig = r.env.Suite().Sign(viewChangePayload(vc))
+	vc.Sig = r.env.Suite().Sign(ViewChangePayload(vc))
 	return vc
 }
 
+// storeViewChange records a campaign, keeping at most one pending campaign
+// per sender: a replica escalating (or spamming) ever-higher views replaces
+// its earlier entries instead of accumulating them, so vcStore stays O(n)
+// no matter how many distinct views a Byzantine replica campaigns for
+// (found by the view-change-spam adversary scenario). Honest replicas only
+// ever push their single latest campaign, and they re-broadcast it on every
+// escalation, so evicting stale entries never loses a live quorum.
 func (r *Replica) storeViewChange(vc *ViewChange) {
+	for v, set := range r.vcStore {
+		if v == vc.NewView {
+			continue
+		}
+		if _, ok := set[vc.Replica]; ok {
+			delete(set, vc.Replica)
+			if len(set) == 0 {
+				delete(r.vcStore, v)
+			}
+		}
+	}
 	set := r.vcStore[vc.NewView]
 	if set == nil {
 		set = make(map[types.NodeID]*ViewChange)
@@ -100,10 +118,15 @@ func (r *Replica) storeViewChange(vc *ViewChange) {
 }
 
 func (r *Replica) onViewChange(from types.NodeID, m *ViewChange) {
-	if m.Replica != from || m.NewView <= r.view {
+	if m.Replica != from {
+		r.reject() // spoofed campaigner identity
 		return
 	}
-	if !r.env.Suite().Verify(from, viewChangePayload(m), m.Sig) {
+	if m.NewView <= r.view {
+		return
+	}
+	if !r.env.Suite().Verify(from, ViewChangePayload(m), m.Sig) {
+		r.reject()
 		return
 	}
 	r.storeViewChange(m)
@@ -166,7 +189,7 @@ func (r *Replica) validateViewChange(vc *ViewChange) bool {
 			return false
 		}
 		seen := make(map[types.NodeID]bool)
-		payload := preparePayload(p.View, p.Seq, p.Digest)
+		payload := PreparePayload(p.View, p.Seq, p.Digest)
 		for i, id := range p.PrepareSigners {
 			if seen[id] {
 				return false
@@ -269,31 +292,38 @@ func (r *Replica) onNewView(from types.NodeID, m *NewView) {
 		return
 	}
 	if from != r.PrimaryOf(m.View) {
+		r.reject() // an installation only its primary may announce
 		return
 	}
 	if len(m.ViewChanges) < r.quorum() {
+		r.reject()
 		return
 	}
 	seen := make(map[types.NodeID]bool)
 	for _, vc := range m.ViewChanges {
 		if vc.NewView != m.View || seen[vc.Replica] {
+			r.reject() // padded quorum: wrong-view or duplicate voters
 			return
 		}
 		seen[vc.Replica] = true
-		if !r.env.Suite().Verify(vc.Replica, viewChangePayload(vc), vc.Sig) {
+		if !r.env.Suite().Verify(vc.Replica, ViewChangePayload(vc), vc.Sig) {
+			r.reject()
 			return
 		}
 		if !r.validateViewChange(vc) {
+			r.reject()
 			return
 		}
 	}
 	// The proposal set must be exactly the deterministic derivation.
 	want := computeNewViewProposals(m.View, m.ViewChanges)
 	if len(want) != len(m.PrePrepares) {
+		r.reject()
 		return
 	}
 	for i, pp := range m.PrePrepares {
 		if pp.View != m.View || pp.Seq != want[i].Seq || pp.Digest != want[i].Digest {
+			r.reject()
 			return
 		}
 	}
@@ -332,7 +362,7 @@ func (r *Replica) applyNewView(nv *NewView) {
 		if old := r.entries[pp.Seq]; old != nil && old.committed {
 			// Already committed locally (necessarily with the same digest by
 			// quorum intersection); help the new view's quorum along.
-			sig := r.env.Suite().Sign(preparePayload(nv.View, pp.Seq, old.digest))
+			sig := r.env.Suite().Sign(PreparePayload(nv.View, pp.Seq, old.digest))
 			r.broadcast(&Prepare{View: nv.View, Seq: pp.Seq, Digest: old.digest, Replica: r.env.ID(), Sig: sig})
 			csig := r.env.Suite().Sign(CommitPayload(nv.View, pp.Seq, old.digest))
 			r.broadcast(&Commit{View: nv.View, Seq: pp.Seq, Digest: old.digest, Replica: r.env.ID(), Sig: csig})

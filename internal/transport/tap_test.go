@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/types"
+)
+
+// A Tap with no hook (and one whose hook declines every send) must be a
+// transparent Transport: the whole contract holds through the wrapper.
+func TestTapConformance(t *testing.T) {
+	conformance(t, "TapMem", func(t *testing.T) Transport { return NewTap(NewMem(), nil) })
+	conformance(t, "TapDecline", func(t *testing.T) Transport {
+		return NewTap(NewMem(), func(from, to types.NodeID, msg types.Message) ([]Delivery, bool) {
+			return nil, false
+		})
+	})
+	// The adversary stack used by the chaos suite: a tap over a (quiet)
+	// fault injector.
+	conformance(t, "TapFaultyMem", func(t *testing.T) Transport {
+		return NewTap(NewFaulty(NewMem(), 7), nil)
+	})
+}
+
+// TestTapInterception drives the three interception outcomes: suppression,
+// rewriting to a different recipient, and fan-out into extra deliveries.
+func TestTapInterception(t *testing.T) {
+	tap := NewTap(NewMem(), func(from, to types.NodeID, m types.Message) ([]Delivery, bool) {
+		if from != 2 {
+			return nil, false // honest senders pass through
+		}
+		switch m.(*msg).n {
+		case 1: // suppress
+			return nil, true
+		case 2: // redirect and tamper
+			return []Delivery{{To: 3, Msg: &msg{n: 20}}}, true
+		case 3: // equivocate: different payloads to different recipients
+			return []Delivery{{To: 1, Msg: &msg{n: 30}}, {To: 3, Msg: &msg{n: 31}}}, true
+		}
+		return nil, false
+	})
+	defer tap.Close()
+	box1 := tap.Register(1)
+	tap.Register(2)
+	box3 := tap.Register(3)
+
+	recv := func(box <-chan Envelope) *msg {
+		t.Helper()
+		select {
+		case env := <-box:
+			return env.Msg.(*msg)
+		case <-time.After(time.Second):
+			t.Fatal("no delivery")
+			return nil
+		}
+	}
+
+	tap.Send(2, 1, &msg{n: 1}) // suppressed
+	tap.Send(2, 1, &msg{n: 2}) // redirected to 3, payload rewritten
+	if got := recv(box3); got.n != 20 {
+		t.Errorf("redirected payload = %d, want 20", got.n)
+	}
+	tap.Send(2, 1, &msg{n: 3}) // equivocation
+	if got := recv(box1); got.n != 30 {
+		t.Errorf("box1 equivocation payload = %d, want 30", got.n)
+	}
+	if got := recv(box3); got.n != 31 {
+		t.Errorf("box3 equivocation payload = %d, want 31", got.n)
+	}
+	tap.Send(4, 1, &msg{n: 9}) // honest sender untouched
+	if got := recv(box1); got.n != 9 {
+		t.Errorf("honest payload = %d, want 9", got.n)
+	}
+	select {
+	case env := <-box1:
+		t.Errorf("suppressed message delivered: %+v", env)
+	default:
+	}
+}

@@ -178,6 +178,8 @@ func setLatency(tr Transport, fn func(from, to types.NodeID) time.Duration) {
 		impl.Latency = fn
 	case *TCP:
 		impl.Latency = fn
+	case *Tap:
+		setLatency(impl.inner, fn)
 	case *Faulty:
 		impl.SetDelay(fn)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"resilientdb/internal/bench"
+	"resilientdb/internal/byzantine"
 	"resilientdb/internal/config"
 	"resilientdb/internal/core"
 	"resilientdb/internal/fabric"
@@ -87,6 +88,16 @@ type Options struct {
 	// Net, if non-nil, runs this process as one member of a multi-process
 	// TCP deployment instead of a self-contained in-process fabric.
 	Net *NetOptions
+	// Adversary, when non-empty, compromises one hosted replica with the
+	// named scripted attack from the byzantine harness (internal/byzantine;
+	// see byzantine.ScriptByName for the names: "equivocate",
+	// "forge-shares", "vc-spam", "tamper-catchup", "suppress"). In-process
+	// deployments compromise replica (0,0); multi-process deployments
+	// compromise the first locally hosted replica. The script is armed from
+	// startup. The deployment must tolerate it — f ≥ 1 per cluster — and
+	// with exactly one adversary it always does: commits continue, honest
+	// ledgers agree, and forged traffic lands in Stats as verify-rejects.
+	Adversary string
 }
 
 // NetOptions describes one process's place in a multi-process deployment:
@@ -186,6 +197,14 @@ func Open(o Options) (*DB, error) {
 	} else {
 		cfg.Latency = latency
 	}
+	if o.Adversary != "" {
+		if err := attachAdversary(&cfg, o); err != nil {
+			if db.tcp != nil {
+				db.tcp.Close()
+			}
+			return nil, err
+		}
+	}
 	fab, err := fabric.Open(cfg)
 	if err != nil {
 		if db.tcp != nil {
@@ -195,6 +214,36 @@ func Open(o Options) (*DB, error) {
 	}
 	db.fab = fab
 	return db, nil
+}
+
+// attachAdversary compromises one hosted replica with the named byzantine
+// script (Options.Adversary), wrapping the deployment's transport in the
+// fleet's interception tap. The script is armed immediately.
+func attachAdversary(cfg *fabric.Config, o Options) error {
+	target := cfg.Topo.ReplicaID(0, 0)
+	if o.Net != nil {
+		if len(cfg.Local) == 0 {
+			return fmt.Errorf("resilientdb: -adversary needs a hosted replica (client processes cannot run one)")
+		}
+		target = cfg.Local[0]
+	}
+	script, err := byzantine.ScriptByName(o.Adversary, cfg.Topo, target)
+	if err != nil {
+		return err
+	}
+	fleet := byzantine.NewFleet(1)
+	fleet.Adversary(cfg.Topo, cfg.Mode, target, script).Arm()
+	inner := cfg.Transport
+	if inner == nil {
+		// The fabric would build its own Mem transport; build it here instead
+		// so the tap can wrap it (carrying over any injected latency).
+		mem := transport.NewMem()
+		mem.Latency = cfg.Latency
+		cfg.Latency = nil
+		inner = mem
+	}
+	cfg.Transport = transport.NewTap(inner, fleet.Intercept)
+	return nil
 }
 
 // ListenAddr returns this process's bound TCP address in a multi-process
