@@ -25,7 +25,7 @@ fmt:
 # packages whose godoc is the operations/API reference (see ARCHITECTURE.md).
 docs-check: vet
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
-	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos ./internal/byzantine .
+	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos ./internal/byzantine ./internal/mempool .
 
 # Short fuzz pass over the wire codec (decode must never panic), the ledger
 # importer (rejected ranges must leave the chain untouched), and block-store
@@ -47,11 +47,12 @@ chaos:
 	CHAOS_MATRIX=full $(GO) test -race -v -count=1 -run 'TestChaosScenarios|TestByzantine|TestRunEnforcesFaultBound' ./internal/chaos/
 
 # Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
-# serial vs verify pool) plus codec micro-benchmarks; writes BENCH_PR2.json
-# with txn/s, allocs/op and drop counts. See README "Performance" for how to
+# serial vs verify pool, plus the 10k-client admission-saturation shape) and
+# codec micro-benchmarks; writes BENCH_PR6.json with txn/s, allocs/op, drop
+# counts and the peak mempool length. See README "Performance" for how to
 # read the numbers (especially on 1-core hosts). Durability micro-benchmarks
 # (ledger append under each fsync policy, disk bootstrap) live in
 # ./internal/ledger/disk:
 #   go test -run '^$' -bench . ./internal/ledger/disk/
 bench:
-	$(GO) run ./cmd/fabricbench -out BENCH_PR2.json
+	$(GO) run ./cmd/fabricbench -out BENCH_PR6.json

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/fabricbench -out BENCH_PR2.json -duration 2s
+//	go run ./cmd/fabricbench -out BENCH_PR6.json -duration 2s
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -51,9 +52,10 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	duration := flag.Duration("duration", 20*time.Second, "measured window per scenario")
 	warmup := flag.Duration("warmup", 5*time.Second, "warmup per scenario")
+	only := flag.String("only", "", "run only scenarios whose name contains this substring")
 	flag.Parse()
 
 	var rep report
@@ -73,6 +75,9 @@ func main() {
 		"pipeline-depth bursts, so individual scenario numbers vary ~20% run to run."
 
 	for _, sc := range fabricbench.StandardScenarios(*warmup, *duration) {
+		if *only != "" && !strings.Contains(sc.Name(), *only) {
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", sc.Name())
 		res := fabricbench.Run(sc)
 		fmt.Fprintf(os.Stderr, "  %-18s %9.0f txn/s  (%d committed, drops: %d)\n",
@@ -80,15 +85,18 @@ func main() {
 		rep.Fabric = append(rep.Fabric, res)
 	}
 
-	// Pair serial/pooled runs of the same deployment shape.
+	// Pair serial/pooled runs of the same deployment shape. Client-identity
+	// shapes are excluded: their load crosses the admission path (and, with
+	// closed-loop clients, a different arrival process), so pairing one with
+	// a feeder-driven baseline would not measure the verify pool.
 	serial := map[string]fabricbench.Result{}
 	for _, r := range rep.Fabric {
-		if r.VerifyWorkers < 0 {
+		if r.VerifyWorkers < 0 && r.Clients == 0 {
 			serial[fmt.Sprintf("%s/z%dn%d", r.Transport, r.Clusters, r.PerCluster)] = r
 		}
 	}
 	for _, r := range rep.Fabric {
-		if r.VerifyWorkers >= 0 {
+		if r.VerifyWorkers >= 0 && r.Clients == 0 {
 			key := fmt.Sprintf("%s/z%dn%d", r.Transport, r.Clusters, r.PerCluster)
 			if base, ok := serial[key]; ok && base.TxnPerSec > 0 {
 				rep.Speedups = append(rep.Speedups, speedup{

@@ -89,6 +89,11 @@ func run(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "persist each hosted replica's ledger to a block store under this directory; a restarted process recovers from it")
 	segmentBytes := fs.Int64("segment-bytes", 0, "block-store segment file size cap in bytes (0: 4 MiB); needs -data-dir")
 	groupCommit := fs.Duration("group-commit", 0, "batch block-store fsyncs at this interval instead of per block (0: fsync every commit); needs -data-dir")
+	provisionClients := fs.Int("provision-clients", 0, "client identities to provision signing keys for; all processes must agree (0: 64)")
+	mempoolCap := fs.Int("mempool-cap", 0, "per-replica cap on admitted-but-unexecuted client requests (0: 4096)")
+	clientRate := fs.Float64("client-rate", 0, "per-client admission rate limit in new requests/s (0: 512; negative disables)")
+	clientBurst := fs.Int("client-burst", 0, "per-client admission burst allowance (0: 512)")
+	replayWindow := fs.Int("replay-window", 0, "executed requests per client each replica remembers for ledger re-replies (0: 32)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -97,8 +102,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit}
+	adm := admissionOptions{clients: *provisionClients, capacity: *mempoolCap, rate: *clientRate, burst: *clientBurst, window: *replayWindow}
 	if *listen == "" {
-		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, *adversary)
+		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, adm, *adversary)
 	}
 
 	net := &resilientdb.NetOptions{
@@ -132,6 +138,11 @@ func run(args []string, out io.Writer) error {
 		DataDir:            disk.dir,
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
+		Clients:            adm.clients,
+		MempoolCapacity:    adm.capacity,
+		ClientRate:         adm.rate,
+		ClientBurst:        adm.burst,
+		ReplayWindow:       adm.window,
 		Net:                net,
 		Adversary:          *adversary,
 	}
@@ -217,12 +228,22 @@ type diskOptions struct {
 	groupCommit  time.Duration
 }
 
+// admissionOptions groups the client-admission flags (identity provisioning
+// and mempool tuning) threaded into resilientdb.Options.
+type admissionOptions struct {
+	clients  int
+	capacity int
+	rate     float64
+	burst    int
+	window   int
+}
+
 // runInProcess is the original single-process demo. With adversary set,
 // replica (0,0) runs the named attack script from startup and the run must
 // still complete: the deployment tolerates f=1 Byzantine replica per
 // cluster, and the final line reports how many forged messages were
 // rejected.
-func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions, adversary string) error {
+func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions, adm admissionOptions, adversary string) error {
 	db, err := resilientdb.Open(resilientdb.Options{
 		Clusters:           clusters,
 		ReplicasPerCluster: replicas,
@@ -233,6 +254,11 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		DataDir:            disk.dir,
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
+		Clients:            adm.clients,
+		MempoolCapacity:    adm.capacity,
+		ClientRate:         adm.rate,
+		ClientBurst:        adm.burst,
+		ReplayWindow:       adm.window,
 		Adversary:          adversary,
 	})
 	if err != nil {

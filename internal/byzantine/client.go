@@ -1,0 +1,126 @@
+package byzantine
+
+import (
+	"sync/atomic"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// RogueClient is a scripted Byzantine *client*: a provisioned identity that
+// attacks the replicas' admission boundary instead of the replica protocol.
+// Unlike replica adversaries it needs no interception seam — a client's
+// entire power is which requests it signs and where and how often it sends
+// them. The rogue signs with its real provisioned key (the deployment's
+// deterministic directory reproduces it), exactly the power a compromised
+// client credential grants: it can flood duplicates, equivocate on its own
+// sequence numbers, and spray fresh sequence numbers faster than any honest
+// client would, but it can never forge another client's signature.
+//
+// The attacks mirror the failure modes the mempool (internal/mempool) must
+// absorb: Flood exercises dedup, Equivocate exercises first-writer-wins
+// conflict handling, Spray exercises per-client rate limiting and capacity
+// eviction. Scenarios assert the deployment sheds all of it — honest commits
+// continue, pools stay bounded, every rejection is counted in Fabric.Stats.
+type RogueClient struct {
+	id      types.NodeID
+	cluster int
+	topo    config.Topology
+	tr      transport.Transport
+	suite   *crypto.Suite
+	inbox   <-chan transport.Envelope
+
+	sent          atomic.Uint64
+	equivocations atomic.Uint64
+}
+
+// ClientStats counts what a rogue client actually sent, so scenarios can
+// assert the attack really ran.
+type ClientStats struct {
+	// Sent counts individual request deliveries handed to the transport.
+	Sent uint64
+	// Equivocations counts sequence numbers signed with two conflicting
+	// payloads.
+	Equivocations uint64
+}
+
+// NewRogueClient provisions client identity index (home cluster index mod z)
+// as an attacker. The index must be one the deployment provisioned keys for
+// (fabric.Config.Clients); mode must match the deployment's crypto mode. The
+// rogue registers its own transport endpoint, so replies sent to it are
+// routed (and silently dropped once its inbox fills — it never reads them,
+// like a client that has long stopped caring).
+func NewRogueClient(tr transport.Transport, topo config.Topology, mode crypto.Mode, index int) *RogueClient {
+	id := config.ClientID(index)
+	c := &RogueClient{
+		id:      id,
+		cluster: index % topo.Clusters,
+		topo:    topo,
+		tr:      tr,
+		suite:   crypto.NewSuite(crypto.NewDirectory(mode, []types.NodeID{id}), id, crypto.FreeCosts(), nil),
+	}
+	c.inbox = tr.Register(id)
+	return c
+}
+
+// ID returns the rogue's client identity.
+func (c *RogueClient) ID() types.NodeID { return c.id }
+
+// Stats snapshots the attack counters.
+func (c *RogueClient) Stats() ClientStats {
+	return ClientStats{Sent: c.sent.Load(), Equivocations: c.equivocations.Load()}
+}
+
+// request builds one validly signed single-transaction request.
+func (c *RogueClient) request(seq, key, val uint64) *pbft.Request {
+	b := types.Batch{Client: c.id, Seq: seq, Txns: []types.Transaction{{Key: key, Value: val}}}
+	b.PrimeDigest()
+	return &pbft.Request{Batch: b, Sig: c.suite.Sign(pbft.RequestPayload(&b))}
+}
+
+// broadcast delivers one request to every local-cluster replica.
+func (c *RogueClient) broadcast(req *pbft.Request) {
+	for _, m := range c.topo.ClusterMembers(c.cluster) {
+		c.tr.Send(c.id, m, req)
+		c.sent.Add(1)
+	}
+}
+
+// Flood sends one validly signed request to every local-cluster replica,
+// copies times over — the duplicate storm of a client that retries without
+// ever honouring a reply or a timeout. Exactly one copy per replica may be
+// admitted; the rest must be shed as duplicates (or, once the batch
+// executes, as replays answered from the ledger).
+func (c *RogueClient) Flood(seq uint64, copies int) {
+	req := c.request(seq, seq, seq)
+	for i := 0; i < copies; i++ {
+		c.broadcast(req)
+	}
+}
+
+// Equivocate signs two conflicting payloads for the same sequence number and
+// shows both to every local-cluster replica, interleaved. Both carry valid
+// signatures, so admission cannot reject either outright; first-writer-wins
+// dedup must ensure at most one is live per replica, and honest prefix
+// safety must hold regardless of which side each replica saw first.
+func (c *RogueClient) Equivocate(seq uint64) {
+	a := c.request(seq, seq, 1)
+	b := c.request(seq, seq, 2)
+	c.broadcast(a)
+	c.broadcast(b)
+	c.equivocations.Add(1)
+}
+
+// Spray submits the distinct sequence numbers lo..hi back to back, as fast
+// as the transport accepts them — far above any honest submission rate. The
+// requests are individually well formed, so this is pure load-shaped abuse:
+// per-client rate limiting must shed the excess and capacity eviction must
+// keep every pool bounded, without starving honest clients.
+func (c *RogueClient) Spray(lo, hi uint64) {
+	for s := lo; s <= hi; s++ {
+		c.broadcast(c.request(s, s, s))
+	}
+}

@@ -5,24 +5,91 @@ import (
 	"time"
 
 	"resilientdb/internal/byzantine"
+	"resilientdb/internal/mempool"
 	"resilientdb/internal/types"
 )
 
 // ByzantineScenarios returns the scripted-malice suite: scenarios where up
-// to f replicas per cluster actively attack the protocol — equivocation,
-// forged certificates, view-change spam, tampered state transfer — and the
-// honest majority must preserve both invariants end-to-end: no two honest
-// ledgers ever commit divergent prefixes (safety), and the deployment
-// view-changes past the attacker and resumes committing (liveness). Every
-// scenario also asserts the attack actually ran (adversary counters) and
-// that every forgery landed in Fabric.Stats as a verify-reject instead of
-// vanishing uncounted.
+// to f replicas per cluster — or a compromised client credential — actively
+// attack the protocol: equivocation, forged certificates, view-change spam,
+// tampered state transfer, client-side request storms. The honest majority
+// must preserve both invariants end-to-end: no two honest ledgers ever
+// commit divergent prefixes (safety), and the deployment routes around the
+// attacker and resumes committing (liveness). Every scenario also asserts
+// the attack actually ran (adversary counters) and that every rejected
+// message landed in Fabric.Stats (verify-rejects, mempool admission
+// counters) instead of vanishing uncounted.
 func ByzantineScenarios() []Scenario {
 	return []Scenario{
 		equivocatingPrimary(),
 		forgedShares(),
 		viewChangeSpam(),
 		tamperedCatchup(),
+		rogueClientStorm(),
+	}
+}
+
+// rogueClientStorm attacks the client admission boundary instead of the
+// replica protocol: a provisioned client credential floods duplicate copies
+// of one request, signs two conflicting payloads for the same sequence
+// number, and sprays fresh sequence numbers far above any honest rate. The
+// deployment must shed all of it at admission — honest clients keep
+// committing, every replica's mempool stays within its configured capacity,
+// honest prefixes never diverge, and the shed traffic is visible in
+// Fabric.Stats' duplicate/replayed/rate-limited counters.
+func rogueClientStorm() Scenario {
+	const poolCap = 48
+	return Scenario{
+		Name:        "byz-rogue-client",
+		Description: "duplicate flood, sequence equivocation, and rate abuse from a compromised client credential: shed at admission, counted, honest progress unharmed",
+		Clusters:    2, Replicas: 4,
+		// Small pool and tight per-client budget so the storm hits every
+		// limit within seconds. ~300 sprayed sequence numbers against a
+		// burst of 32 guarantees rate-limit rejections; 64 flood copies
+		// per round guarantee duplicates.
+		Mempool: mempool.Config{Capacity: poolCap, PerClientRate: 32, PerClientBurst: 32, ReplayWindow: 16},
+		Run: func(e *Env) error {
+			l0 := e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 1, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			rogue := e.RogueClient(2) // home cluster 0, alongside l0
+			pre := e.MempoolStats()
+			before := l0.Committed()
+			rogue.Equivocate(1)
+			rogue.Flood(2, 64)
+			rogue.Spray(10, 300)
+			rogue.Flood(2, 64) // second storm: by now seq 2 is usually executed, so copies replay
+			// Liveness through the storm: the honest cluster-0 client keeps
+			// confirming batches while the rogue hammers the same replicas.
+			if err := e.WaitCommitted(l0, before+3, 90*time.Second); err != nil {
+				return err
+			}
+			e.StopLoads()
+			if err := e.WaitConverged(90 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if st := rogue.Stats(); st.Sent == 0 || st.Equivocations == 0 {
+				return fmt.Errorf("chaos: the rogue client never attacked: %+v", st)
+			}
+			// Bounded memory: no replica's pool may exceed its capacity, no
+			// matter how much the rogue sent.
+			for idx := 0; idx < e.Topo.PerCluster; idx++ {
+				if n := e.MempoolLen(0, idx); n > poolCap {
+					return fmt.Errorf("chaos: replica (0,%d) mempool holds %d pending requests, capacity %d", idx, n, poolCap)
+				}
+			}
+			mp := e.MempoolStats()
+			if mp.Duplicate <= pre.Duplicate {
+				return fmt.Errorf("chaos: the duplicate flood vanished uncounted (duplicates %d → %d)", pre.Duplicate, mp.Duplicate)
+			}
+			if mp.RateLimited <= pre.RateLimited {
+				return fmt.Errorf("chaos: the sequence spray was never rate-limited (%d → %d)", pre.RateLimited, mp.RateLimited)
+			}
+			return e.AssertPrefixes()
+		},
 	}
 }
 

@@ -29,6 +29,8 @@ import (
 	"resilientdb/internal/crypto"
 	"resilientdb/internal/fabric"
 	"resilientdb/internal/ledger"
+	"resilientdb/internal/mempool"
+	"resilientdb/internal/metrics"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -57,6 +59,11 @@ type Scenario struct {
 	// roles. It exists only for the harness's own teeth tests, which prove
 	// the invariant checks fail once the >f assumption is violated.
 	AllowOverF bool
+	// Mempool tunes each replica's client admission layer for the run
+	// (zero values select the mempool package defaults). Client-boundary
+	// scenarios shrink capacity and rate limits so a rogue client hits
+	// them within seconds instead of minutes.
+	Mempool mempool.Config
 	// Run drives the deployment; a non-nil error is an assertion failure.
 	Run func(e *Env) error
 }
@@ -101,6 +108,7 @@ func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 		LocalTimeout:  400 * time.Millisecond,
 		RemoteTimeout: 700 * time.Millisecond,
 		Transport:     tr,
+		Mempool:       s.Mempool,
 	}
 	var dataDir string
 	if s.Disk {
@@ -189,6 +197,26 @@ func (e *Env) Arm(cluster, idx int) {
 // discarded by a cryptographic check, pooled or inline (see
 // metrics.DropStats.VerifyReject).
 func (e *Env) VerifyRejects() uint64 { return e.Fab.Stats().VerifyReject }
+
+// MempoolStats reads the deployment-wide client admission counters
+// (duplicates shed, replays answered from the ledger, rate-limited and
+// evicted requests), summed across replicas.
+func (e *Env) MempoolStats() metrics.MempoolStats { return e.Fab.Stats().Mempool }
+
+// MempoolLen reads one replica's count of pending admitted client requests —
+// the quantity Scenario.Mempool.Capacity bounds.
+func (e *Env) MempoolLen(cluster, idx int) int {
+	return e.Fab.Node(e.ReplicaID(cluster, idx)).MempoolLen()
+}
+
+// RogueClient provisions client identity index as a scripted Byzantine
+// client attacking the deployment's admission boundary (see
+// byzantine.RogueClient). Its traffic rides the same fault-injected
+// transport as honest clients'.
+func (e *Env) RogueClient(index int) *byzantine.RogueClient {
+	e.Logf("chaos: provisioning rogue client %d (cluster %d)", index, index%e.Topo.Clusters)
+	return byzantine.NewRogueClient(e.Net, e.Topo, crypto.Real, index)
+}
 
 // NodeDir returns a replica's block-store directory in a disk-backed
 // scenario, so scripts can corrupt its files while the replica is down.
@@ -422,7 +450,6 @@ type Loader struct {
 	quit      chan struct{}
 	done      chan struct{}
 	stopOnce  sync.Once
-	closeOnce sync.Once
 }
 
 // StartLoad opens client index i (home cluster i mod z) and starts its
@@ -465,7 +492,7 @@ func (l *Loader) Committed() uint64 { return l.committed.Load() }
 func (l *Loader) Stop() uint64 {
 	l.stopOnce.Do(func() {
 		close(l.quit)
-		l.closeOnce.Do(l.cl.Close) // unblocks a Submit in flight
+		l.cl.Close() // idempotent; unblocks a Submit in flight
 		<-l.done
 	})
 	return l.committed.Load()

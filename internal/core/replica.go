@@ -133,7 +133,7 @@ type Replica struct {
 	histDigest     types.Digest
 
 	// primary-side state
-	pending  []types.Batch // client batches awaiting admission to PBFT
+	pending  []signedBatch // client batches awaiting admission to PBFT
 	noopSeq  uint64
 	sharedTo uint64 // rounds shared with other clusters
 
@@ -240,7 +240,7 @@ func (r *Replica) receive(from types.NodeID, msg types.Message, pre bool) {
 	switch m := msg.(type) {
 	case *pbft.Request:
 		if from.IsClient() {
-			r.submitClient(m.Batch)
+			r.submitClient(m.Batch, m.Sig)
 			return
 		}
 		r.local.HandleMessage(from, msg)
@@ -298,22 +298,30 @@ func (r *Replica) CatchUpBlocks() uint64 { return r.catchupBlocks.Load() }
 
 // --- client admission and pipelining ---------------------------------------
 
+// signedBatch couples a buffered batch with the signature that authenticated
+// it, preserved so a backup's forward to the primary carries the proof.
+type signedBatch struct {
+	b   types.Batch
+	sig []byte
+}
+
 // SubmitBatch admits a locally originated batch, e.g. one assembled by the
-// fabric's batching stage. It follows the same admission path as a client
-// request.
-func (r *Replica) SubmitBatch(b types.Batch) { r.submitClient(b) }
+// fabric's batching stage, with the originator's signature over
+// pbft.RequestPayload (nil in cost-modelled deployments). It follows the
+// same admission path as a client request.
+func (r *Replica) SubmitBatch(b types.Batch, sig []byte) { r.submitClient(b, sig) }
 
 // submitClient admits a client batch. The primary feeds PBFT subject to the
 // pipeline bound; backups forward to the primary via PBFT's supervision
 // mechanism (which also arms the anti-censorship timer).
-func (r *Replica) submitClient(b types.Batch) {
+func (r *Replica) submitClient(b types.Batch, sig []byte) {
 	if r.IsPrimary() {
 		r.env.Suite().ChargeVerify()
-		r.pending = append(r.pending, b)
+		r.pending = append(r.pending, signedBatch{b, sig})
 		r.feedPrimary()
 		return
 	}
-	r.local.SubmitLocal(b, false)
+	r.local.SubmitLocal(b, sig, false)
 }
 
 // assignedRounds is the highest round the primary has admitted to PBFT
@@ -334,9 +342,9 @@ func (r *Replica) feedPrimary() {
 		depth = 1
 	}
 	for len(r.pending) > 0 && r.assignedRounds() < r.executedRound.Load()+depth {
-		b := r.pending[0]
+		q := r.pending[0]
 		r.pending = r.pending[1:]
-		r.local.SubmitLocal(b, true)
+		r.local.SubmitLocal(q.b, q.sig, true)
 	}
 }
 
@@ -354,15 +362,15 @@ func (r *Replica) proposeNoOps(target uint64) {
 	for r.assignedRounds() < target {
 		before := r.assignedRounds()
 		if len(r.pending) > 0 {
-			b := r.pending[0]
+			q := r.pending[0]
 			r.pending = r.pending[1:]
-			r.local.SubmitLocal(b, true)
+			r.local.SubmitLocal(q.b, q.sig, true)
 			continue
 		}
 		r.noopSeq++
 		noop := types.Batch{Client: r.cfg.Self, Seq: r.noopSeq, NoOp: true}
 		noop.PrimeDigest() // cache before the proposal is broadcast
-		r.local.SubmitLocal(noop, true)
+		r.local.SubmitLocal(noop, nil, true)
 		if r.assignedRounds() == before {
 			return // not accepting proposals (window full or deposed): stop
 		}

@@ -20,12 +20,21 @@ import (
 // one Receive would unconditionally discard, and a verified message may skip
 // exactly the checks performed here (ReceiveVerified) while every stateful
 // guard — staleness, duplication, membership routing — still runs on the
-// worker. Client batch MACs are modelled as cost only (ChargeVerify), so
-// requests pass through unchecked.
+// worker.
+//
+// Client requests carry a real per-client signature over the batch
+// (pbft.RequestPayload): it is verified here whether the request came from
+// the client directly or was re-forwarded by a backup, so a spoofed Client
+// field — from a forging client or a Byzantine forwarder — can never reach
+// the mempool's dedup state or the proposal queue. (The simulator does not
+// route through PreVerify and keeps the paper's cost-only model.)
 func (r *Replica) PreVerify(suite *crypto.Suite, from types.NodeID, msg types.Message) proto.Verdict {
 	switch m := msg.(type) {
 	case *pbft.Request:
-		return proto.VerdictPass
+		if !suite.Verify(m.Batch.Client, pbft.RequestPayload(&m.Batch), m.Sig) {
+			return proto.VerdictReject
+		}
+		return proto.VerdictVerified
 	case *GlobalShare:
 		c := int(m.Cluster)
 		if c < 0 || c >= r.cfg.Topo.Clusters || c == r.myCluster {

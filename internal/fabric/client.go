@@ -2,10 +2,12 @@ package fabric
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
 	"resilientdb/internal/pbft"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/transport"
@@ -14,19 +16,22 @@ import (
 
 // Client is a networked fabric client: it submits transaction batches to
 // its local cluster and waits for f+1 matching replies, exactly like the
-// paper's clients (Section 2.4).
+// paper's clients (Section 2.4). Every request is signed with the client's
+// provisioned key; replicas verify the signature before admission.
 type Client struct {
 	fab     *Fabric
 	id      types.NodeID
 	cluster int
+	suite   *crypto.Suite
 	inbox   <-chan transport.Envelope
 
 	mu      sync.Mutex
 	nextSeq uint64
 	waiters map[uint64]*waiter
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 type waiter struct {
@@ -36,7 +41,12 @@ type waiter struct {
 }
 
 // NewClient registers client index i (home cluster i mod z) on the fabric.
+// The index must be below Config.Clients: only provisioned identities have
+// signing keys, and replicas reject unauthenticated requests.
 func (f *Fabric) NewClient(i int) *Client {
+	if i < 0 || i >= f.cfg.Clients {
+		panic(fmt.Sprintf("fabric: client index %d outside provisioned range [0,%d)", i, f.cfg.Clients))
+	}
 	c := &Client{
 		fab:     f,
 		id:      config.ClientID(i),
@@ -44,6 +54,7 @@ func (f *Fabric) NewClient(i int) *Client {
 		waiters: make(map[uint64]*waiter),
 		quit:    make(chan struct{}),
 	}
+	c.suite = crypto.NewSuite(f.dir, c.id, crypto.FreeCosts(), nil)
 	c.inbox = f.tr.Register(c.id)
 	c.wg.Add(1)
 	go c.loop()
@@ -100,15 +111,21 @@ func (c *Client) Submit(txns []types.Transaction, timeout time.Duration) error {
 
 	b := types.Batch{Client: c.id, Seq: seq, Txns: txns}
 	b.PrimeDigest() // cache before the batch is shared with replica pipelines
-	req := &pbft.Request{Batch: b}
+	req := &pbft.Request{Batch: b, Sig: c.suite.Sign(pbft.RequestPayload(&b))}
 	primary := c.fab.cfg.Topo.ReplicaID(c.cluster, 0)
 	c.fab.tr.Send(c.id, primary, req)
 
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+	// A tenth of the timeout, clamped to [10ms, 1s]: NewTicker panics on a
+	// sub-nanosecond period, and sub-10ms retries would only storm the
+	// cluster with copies it deduplicates anyway.
 	retryEvery := timeout / 10
 	if retryEvery > time.Second {
 		retryEvery = time.Second
+	}
+	if retryEvery < 10*time.Millisecond {
+		retryEvery = 10 * time.Millisecond
 	}
 	retry := time.NewTicker(retryEvery)
 	defer retry.Stop()
@@ -128,13 +145,17 @@ func (c *Client) Submit(txns []types.Transaction, timeout time.Duration) error {
 			c.mu.Unlock()
 			return ErrTimeout
 		case <-c.quit:
+			c.mu.Lock()
+			delete(c.waiters, seq)
+			c.mu.Unlock()
 			return errors.New("fabric: client closed")
 		}
 	}
 }
 
-// Close stops the client.
+// Close stops the client. It is idempotent: concurrent and repeated calls
+// are safe, and any blocked Submit returns with an error.
 func (c *Client) Close() {
-	close(c.quit)
+	c.closeOnce.Do(func() { close(c.quit) })
 	c.wg.Wait()
 }

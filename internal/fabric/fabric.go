@@ -32,7 +32,9 @@ import (
 	"resilientdb/internal/crypto"
 	"resilientdb/internal/ledger"
 	"resilientdb/internal/ledger/disk"
+	"resilientdb/internal/mempool"
 	"resilientdb/internal/metrics"
+	"resilientdb/internal/pbft"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
@@ -82,6 +84,14 @@ type Config struct {
 	// blocks on machine — not process — crash for much higher append
 	// throughput). 0 fsyncs on every commit. Ignored without DataDir.
 	DiskGroupCommit time.Duration
+	// Clients is how many client identities the deployment provisions keys
+	// for (NewClient indices 0..Clients-1). 0 selects 64. Every process of a
+	// multi-process deployment must agree on it, like the topology.
+	Clients int
+	// Mempool tunes each replica's client admission layer (dedup, replay
+	// window, rate limiting, capacity); zero fields select the
+	// internal/mempool defaults.
+	Mempool mempool.Config
 	// VerifyWorkers sizes each node's pool of verify goroutines — the
 	// parallel input stage of Figure 9 that performs all cryptographic
 	// checks before a message reaches the worker. 0 selects GOMAXPROCS,
@@ -133,6 +143,9 @@ func Open(cfg Config) (*Fabric, error) {
 	if cfg.RemoteTimeout == 0 {
 		cfg.RemoteTimeout = 3 * time.Second
 	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 64
+	}
 	if cfg.VerifyWorkers == 0 {
 		if p := runtime.GOMAXPROCS(0); p > 1 {
 			cfg.VerifyWorkers = p
@@ -151,7 +164,7 @@ func Open(cfg Config) (*Fabric, error) {
 	// Key material covers the whole topology regardless of which replicas
 	// run here: it is derived deterministically per node, so every process
 	// of a multi-process deployment provisions identical directories.
-	f.dir = crypto.NewDirectory(cfg.Mode, append(cfg.Topo.AllReplicas(), clientIDs(64)...))
+	f.dir = crypto.NewDirectory(cfg.Mode, append(cfg.Topo.AllReplicas(), clientIDs(cfg.Clients)...))
 	local := cfg.Local
 	if local == nil {
 		local = cfg.Topo.AllReplicas()
@@ -383,16 +396,19 @@ func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 	return nil
 }
 
-// Stats returns a snapshot of the deployment's loss counters: transport-level
-// drops (full mailboxes, full send queues, codec failures) plus this
-// process's per-node output-queue drops and verify-stage rejections. Safe to
-// call while the fabric is running.
+// Stats returns a snapshot of the deployment's loss counters — transport-
+// level drops (full mailboxes, full send queues, codec failures) plus this
+// process's per-node output-queue drops and verify-stage rejections — and
+// the aggregated mempool admission counters (admitted, duplicate, replayed,
+// rate-limited, evicted) of every hosted replica. Safe to call while the
+// fabric is running.
 func (f *Fabric) Stats() metrics.DropStats {
 	st := f.tr.Stats()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, n := range f.nodes {
 		st.Add(n.drops.Snapshot())
+		st.Mempool.Add(n.pool.Stats())
 	}
 	return st
 }
@@ -413,6 +429,7 @@ type Node struct {
 	batchQ  chan types.Transaction
 
 	seen  shareCache // verified-certificate dedup (verify pool only)
+	pool  *mempool.Pool
 	drops metrics.Drops
 
 	// store is the node's durable block store (nil without Config.DataDir).
@@ -469,6 +486,7 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 	n.env = &nodeEnv{node: n, start: time.Now()}
 	n.env.suite = crypto.NewSuite(f.dir, id, crypto.FreeCosts(), nil)
 	n.env.rng = rand.New(rand.NewSource(int64(id) + 1))
+	n.pool = mempool.New(f.cfg.Mempool)
 	ccfg := core.Config{
 		Topo:          f.cfg.Topo,
 		Self:          id,
@@ -483,9 +501,15 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 		// counter as pool rejections: nothing vanishes uncounted.
 		OnVerifyReject: func() { n.drops.VerifyReject.Add(1) },
 	}
-	if f.cfg.OnExecute != nil {
-		hook := f.cfg.OnExecute
-		ccfg.OnExecute = func(round uint64, cluster types.ClusterID, batch types.Batch) {
+	// Every execution feeds the mempool's replay window, so a retry of an
+	// already-executed request is answered from the ledger instead of
+	// re-entering consensus; the user hook (if any) rides along.
+	hook := f.cfg.OnExecute
+	ccfg.OnExecute = func(round uint64, cluster types.ClusterID, batch types.Batch) {
+		if !batch.NoOp {
+			n.pool.MarkExecuted(batch.Client, batch.Seq, batch.Digest(), batch.Len())
+		}
+		if hook != nil {
 			hook(id, round, cluster, batch)
 		}
 	}
@@ -521,7 +545,10 @@ func (n *Node) start(boot func(r *core.Replica)) {
 	} else {
 		// Serial baseline: input threads receive and enqueue directly; all
 		// cryptographic checks run on the worker (two threads, as the seed
-		// pipeline had).
+		// pipeline had) — except client requests, whose signature check and
+		// mempool admission happen right here on the input thread: admission
+		// is not worker state (the pool has its own lock), and shedding
+		// duplicates before the worker is the point of the layer.
 		for i := 0; i < 2; i++ {
 			n.wg.Add(1)
 			go func() {
@@ -533,6 +560,20 @@ func (n *Node) start(boot func(r *core.Replica)) {
 							return
 						}
 						e := env
+						if req, isReq := e.Msg.(*pbft.Request); isReq {
+							if n.shedRequest(req) {
+								continue
+							}
+							if n.replica.PreVerify(n.env.suite, e.From, req) == proto.VerdictReject {
+								n.drops.VerifyReject.Add(1)
+								continue
+							}
+							if !n.admitRequest(req) {
+								continue
+							}
+							n.post(func() { n.replica.ReceiveVerified(e.From, e.Msg) })
+							continue
+						}
 						n.post(func() { n.replica.Receive(e.From, e.Msg) })
 					case <-n.quit:
 						return
@@ -556,7 +597,12 @@ func (n *Node) start(boot func(r *core.Replica)) {
 			b := types.Batch{Client: n.id, Seq: seq, Txns: buf}
 			b.PrimeDigest() // cache before the batch crosses goroutines
 			buf = nil
-			n.post(func() { n.replica.SubmitBatch(b) })
+			// Sign as this node: when the node is a backup the batch is
+			// forwarded to the primary as a pbft.Request, and the primary's
+			// admission layer verifies the originator's signature like any
+			// client's.
+			sig := n.env.suite.Sign(pbft.RequestPayload(&b))
+			n.post(func() { n.replica.SubmitBatch(b, sig) })
 		}
 		ticker := time.NewTicker(5 * time.Millisecond)
 		defer ticker.Stop()
@@ -607,6 +653,13 @@ func (n *Node) startVerifyPipeline() {
 			case env, ok := <-n.inbox:
 				if !ok {
 					return
+				}
+				// Shed decidable client-request copies here, before they
+				// consume a verify-pool slot: under a retry storm the
+				// duplicates would otherwise monopolize the pool with
+				// signature checks whose outcome cannot matter.
+				if req, isReq := env.Msg.(*pbft.Request); isReq && n.shedRequest(req) {
+					continue
 				}
 				j := verifyJobPool.Get().(*verifyJob)
 				j.from, j.msg, j.verdict = env.From, env.Msg, proto.VerdictPass
@@ -662,6 +715,13 @@ func (n *Node) startVerifyPipeline() {
 				case proto.VerdictReject:
 					n.drops.VerifyReject.Add(1)
 				case proto.VerdictVerified:
+					// Authenticated client requests pass the admission layer
+					// before reaching the worker; running it here, on the
+					// single sequencer goroutine, keeps admission order
+					// identical to delivery order.
+					if req, isReq := msg.(*pbft.Request); isReq && !n.admitRequest(req) {
+						continue
+					}
 					n.post(func() { n.replica.ReceiveVerified(from, msg) })
 				default:
 					n.post(func() { n.replica.Receive(from, msg) })
@@ -692,6 +752,69 @@ func (n *Node) preVerify(from types.NodeID, msg types.Message) proto.Verdict {
 	}
 	return n.replica.PreVerify(n.env.suite, from, msg)
 }
+
+// shedRequest runs the unauthenticated admission fast path (mempool.Precheck)
+// on one inbound client request and reports whether it was fully handled:
+// duplicates of verified in-flight work are dropped, and replays whose
+// contents match the executed batch are re-answered from the certified
+// ledger — all without a signature verification, which is what keeps a
+// retry storm from starving consensus traffic of verification capacity.
+// Requests it declines to decide continue to signature verification and
+// Admit.
+func (n *Node) shedRequest(req *pbft.Request) bool {
+	b := &req.Batch
+	verdict, exec, decided := n.pool.Precheck(b.Client, b.Seq, b.Digest())
+	if !decided {
+		return false
+	}
+	if verdict == mempool.Replayed && exec != nil {
+		n.env.Send(b.Client, &proto.Reply{
+			Client:    b.Client,
+			ClientSeq: exec.Seq,
+			Replica:   n.id,
+			TxnCount:  exec.TxnCount,
+			Result:    exec.Digest,
+		})
+	}
+	return true
+}
+
+// admitRequest runs one authenticated client request through the node's
+// mempool and reports whether it should enter the state machine. Duplicates
+// of in-flight work and rate-limited spam are dropped (the pbft layer
+// already supervises the admitted original); replays of executed work are
+// answered from the certified ledger — the re-reply the paper's retrying
+// client needs to converge — when the replay window still remembers the
+// outcome. Callers must have verified the client signature first: admission
+// writes per-client state, and only authentication keeps a spoofed Client
+// field from poisoning another client's dedup window.
+func (n *Node) admitRequest(req *pbft.Request) bool {
+	b := &req.Batch
+	verdict, exec := n.pool.Admit(b.Client, b.Seq, b.Digest())
+	switch verdict {
+	case mempool.Admitted:
+		return true
+	case mempool.Replayed:
+		if exec != nil {
+			n.env.Send(b.Client, &proto.Reply{
+				Client:    b.Client,
+				ClientSeq: exec.Seq,
+				Replica:   n.id,
+				TxnCount:  exec.TxnCount,
+				Result:    exec.Digest,
+			})
+		}
+	}
+	return false
+}
+
+// MempoolLen returns the node's count of pending (admitted, not yet
+// executed) client requests — the quantity bounded by Config.Mempool's
+// capacity.
+func (n *Node) MempoolLen() int { return n.pool.Len() }
+
+// MempoolStats returns a snapshot of the node's admission counters.
+func (n *Node) MempoolStats() metrics.MempoolStats { return n.pool.Stats() }
 
 // shareCache is a bounded set of verified certificate-share keys shared by
 // the verify pool's goroutines. Two generations rotate out old entries so

@@ -11,7 +11,7 @@ import (
 // BenchmarkCodec runs the shared wire-codec micro-benchmark matrix (see
 // codec.go) — pooled vs unpooled encoding and decoding for the paper-sized
 // message shapes. Run with -benchmem; cmd/fabricbench records the same cases
-// into BENCH_PR2.json.
+// into the committed bench JSON (BENCH_PR6.json).
 func BenchmarkCodec(b *testing.B) {
 	for _, c := range CodecCases() {
 		b.Run(c.Name, c.Fn)

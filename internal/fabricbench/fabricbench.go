@@ -35,6 +35,13 @@ type Scenario struct {
 	// per replica, as in a multi-process deployment) instead of the
 	// in-process Mem transport.
 	TCP bool
+	// ClientIdentities, when positive, replaces the primary-side feeders
+	// with that many closed-loop networked clients (fabric.Client): each
+	// signs its own requests, waits for f+1 replies, and retries on
+	// timeout, so the load crosses the full admission path — signature
+	// verification, mempool dedup, replay answering — under a large
+	// identity population. Mem transport only.
+	ClientIdentities int
 	// Warmup runs load without measuring (default 500ms); Duration is the
 	// measured window (default 2s).
 	Warmup   time.Duration
@@ -49,6 +56,9 @@ func (s Scenario) Name() string {
 	}
 	if s.VerifyWorkers < 0 {
 		mode = "serial"
+	}
+	if s.ClientIdentities > 0 {
+		return fmt.Sprintf("%s/z%dn%d/%s/c%d", tr, s.Clusters, s.PerCluster, mode, s.ClientIdentities)
 	}
 	return fmt.Sprintf("%s/z%dn%d/%s", tr, s.Clusters, s.PerCluster, mode)
 }
@@ -65,6 +75,13 @@ type Result struct {
 	CommittedTxns uint64            `json:"committed_txns"`
 	TxnPerSec     float64           `json:"txn_per_sec"`
 	Drops         metrics.DropStats `json:"drops"`
+	// Clients is the number of distinct closed-loop client identities
+	// driving the run (0: primary-side feeders that bypass admission).
+	Clients int `json:"clients,omitempty"`
+	// MaxMempoolLen is the largest per-replica pending-request pool
+	// sampled during the measured window — the bounded-memory evidence for
+	// large identity populations (the cap is mempool.DefaultCapacity).
+	MaxMempoolLen int `json:"max_mempool_len"`
 }
 
 // Run executes one scenario and reports committed-transaction throughput
@@ -81,6 +98,9 @@ func Run(s Scenario) Result {
 	if s.Duration == 0 {
 		s.Duration = 2 * time.Second
 	}
+	if s.ClientIdentities > 0 && s.TCP {
+		panic("fabricbench: client-identity scenarios run on the Mem transport only")
+	}
 	topo := config.NewTopology(s.Clusters, s.PerCluster)
 
 	mkCfg := func() fabric.Config {
@@ -88,6 +108,7 @@ func Run(s Scenario) Result {
 			Topo:          topo,
 			BatchSize:     s.BatchSize,
 			Records:       4096,
+			Clients:       s.ClientIdentities,
 			VerifyWorkers: s.VerifyWorkers,
 			// Generous timeouts: the benchmark measures steady-state commit
 			// throughput, and on an oversubscribed host the slow first rounds
@@ -137,39 +158,100 @@ func Run(s Scenario) Result {
 		}
 	}
 
-	// Feeders: keep every cluster's primary batching stage saturated.
-	// SubmitTxns blocks on a full batching queue, which is exactly the
-	// backpressure a saturating open-loop client exerts.
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for c := 0; c < s.Clusters; c++ {
-		primary := topo.ReplicaID(c, 0)
-		node := byID[primary].Node(primary)
-		wg.Add(1)
-		go func(c int, node *fabric.Node) {
-			defer wg.Done()
-			key := uint64(c) << 40
-			buf := make([]types.Transaction, s.BatchSize)
-			for {
+	var clients []*fabric.Client
+	if s.ClientIdentities > 0 {
+		// Closed-loop networked clients: each identity signs, submits,
+		// waits for f+1 replies, and retries on timeout. At saturation
+		// timeouts are expected — the retries are the point: they exercise
+		// mempool dedup and ledger re-replies under a 10k-identity
+		// population while the pending pools must stay capacity-bounded.
+		clients = make([]*fabric.Client, s.ClientIdentities)
+		for i := range clients {
+			clients[i] = fabs[0].NewClient(i)
+		}
+		for i, cl := range clients {
+			wg.Add(1)
+			go func(i int, cl *fabric.Client) {
+				defer wg.Done()
+				// Stagger first submissions across the warmup: a population
+				// this size arrives as a stream, not as one synchronized
+				// thundering herd that only measures mailbox overflow.
 				select {
+				case <-time.After(time.Duration(i) * s.Warmup / time.Duration(len(clients))):
 				case <-stop:
 					return
-				default:
 				}
-				for i := range buf {
-					buf[i] = types.Transaction{Key: key, Value: key}
-					key++
+				key := uint64(i) << 24
+				buf := make([]types.Transaction, s.BatchSize)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for j := range buf {
+						buf[j] = types.Transaction{Key: key, Value: key}
+						key++
+					}
+					// A patient timeout keeps the retry interval (timeout/10)
+					// wide: at this population a tight retry loop would spend
+					// every core verifying duplicate signatures instead of
+					// committing (the drop counters still show plenty of
+					// duplicates from the clients that do retry).
+					_ = cl.Submit(buf, 2*time.Minute)
 				}
-				node.SubmitTxns(buf)
+			}(i, cl)
+		}
+	} else {
+		// Feeders: keep every cluster's primary batching stage saturated.
+		// SubmitTxns blocks on a full batching queue, which is exactly the
+		// backpressure a saturating open-loop client exerts.
+		for c := 0; c < s.Clusters; c++ {
+			primary := topo.ReplicaID(c, 0)
+			node := byID[primary].Node(primary)
+			wg.Add(1)
+			go func(c int, node *fabric.Node) {
+				defer wg.Done()
+				key := uint64(c) << 40
+				buf := make([]types.Transaction, s.BatchSize)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := range buf {
+						buf[i] = types.Transaction{Key: key, Value: key}
+						key++
+					}
+					node.SubmitTxns(buf)
+				}
+			}(c, node)
+		}
+	}
+
+	// Sample the pending-request pools while measuring: the reported
+	// maximum proves admission memory stays bounded however hard the load
+	// pushes.
+	maxPool := 0
+	samplePools := func() {
+		for _, id := range topo.AllReplicas() {
+			if n := byID[id].Node(id).MempoolLen(); n > maxPool {
+				maxPool = n
 			}
-		}(c, node)
+		}
 	}
 
 	observer := byID[topo.ReplicaID(0, 1)].Replica(topo.ReplicaID(0, 1))
 	time.Sleep(s.Warmup)
 	t0 := time.Now()
 	c0 := observer.ExecutedTxns()
-	time.Sleep(s.Duration)
+	for end := time.Now().Add(s.Duration); time.Now().Before(end); {
+		time.Sleep(100 * time.Millisecond)
+		samplePools()
+	}
 	committed := observer.ExecutedTxns() - c0
 	elapsed := time.Since(t0)
 
@@ -178,6 +260,9 @@ func Run(s Scenario) Result {
 		drops.Add(f.Stats())
 	}
 	close(stop)
+	for _, cl := range clients {
+		cl.Close() // unblocks any Submit in flight
+	}
 	for _, f := range fabs {
 		f.Stop()
 	}
@@ -198,14 +283,18 @@ func Run(s Scenario) Result {
 		CommittedTxns: committed,
 		TxnPerSec:     float64(committed) / elapsed.Seconds(),
 		Drops:         drops,
+		Clients:       s.ClientIdentities,
+		MaxMempoolLen: maxPool,
 	}
 }
 
-// StandardScenarios returns the PR-2 benchmark matrix: Mem and TCP loopback,
-// z=2/n=4 and z=4/n=7, serial baseline vs verify pool, Real cryptography.
-// The pool size is explicit (GOMAXPROCS, floor 2) so the pooled path is
-// actually measured even on hosts where the fabric's auto default would
-// disable it.
+// StandardScenarios returns the benchmark matrix: Mem and TCP loopback,
+// z=2/n=4 and z=4/n=7, serial baseline vs verify pool, Real cryptography
+// (the PR-2 matrix), plus the PR-6 admission-saturation shape — 10,000
+// closed-loop client identities over Mem, proving signature-verified
+// admission sustains throughput with capacity-bounded pools. The pool size
+// is explicit (GOMAXPROCS, floor 2) so the pooled path is actually measured
+// even on hosts where the fabric's auto default would disable it.
 func StandardScenarios(warmup, duration time.Duration) []Scenario {
 	pool := runtime.GOMAXPROCS(0)
 	if pool < 2 {
@@ -226,5 +315,14 @@ func StandardScenarios(warmup, duration time.Duration) []Scenario {
 			}
 		}
 	}
+	out = append(out, Scenario{
+		Clusters:         2,
+		PerCluster:       4,
+		BatchSize:        10,
+		VerifyWorkers:    pool,
+		ClientIdentities: 10000,
+		Warmup:           warmup,
+		Duration:         duration,
+	})
 	return out
 }

@@ -1,0 +1,193 @@
+package mempool_test
+
+import (
+	"testing"
+	"time"
+
+	"resilientdb/internal/mempool"
+	"resilientdb/internal/types"
+)
+
+const client = types.ClientIDBase + 7
+
+func dig(b byte) types.Digest {
+	var d types.Digest
+	d[0] = b
+	return d
+}
+
+func TestAdmitDedupReplayCycle(t *testing.T) {
+	p := mempool.New(mempool.Config{})
+
+	if v, _ := p.Admit(client, 1, dig(1)); v != mempool.Admitted {
+		t.Fatalf("first sighting: %v", v)
+	}
+	if v, _ := p.Admit(client, 1, dig(1)); v != mempool.Duplicate {
+		t.Fatalf("retry while pending: %v", v)
+	}
+	// Equivocation: same seq, different contents. First writer wins.
+	if v, _ := p.Admit(client, 1, dig(9)); v != mempool.Duplicate {
+		t.Fatalf("equivocation while pending: %v", v)
+	}
+
+	p.MarkExecuted(client, 1, dig(1), 3)
+	if p.Len() != 0 {
+		t.Fatalf("pending after execution: %d", p.Len())
+	}
+	v, e := p.Admit(client, 1, dig(1))
+	if v != mempool.Replayed || e == nil {
+		t.Fatalf("retry after execution: %v, %v", v, e)
+	}
+	if e.Digest != dig(1) || e.TxnCount != 3 || e.Seq != 1 {
+		t.Fatalf("replay entry: %+v", *e)
+	}
+
+	st := p.Stats()
+	if st.Admitted != 1 || st.Duplicate != 2 || st.Replayed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplayWindowEviction(t *testing.T) {
+	p := mempool.New(mempool.Config{ReplayWindow: 4})
+	for seq := uint64(1); seq <= 10; seq++ {
+		p.Admit(client, seq, dig(byte(seq)))
+		p.MarkExecuted(client, seq, dig(byte(seq)), 1)
+	}
+	// Recent executions re-reply; ones pushed out of the window are still
+	// recognized as replayed (seq <= hwm) but carry no reply data.
+	if v, e := p.Admit(client, 10, dig(10)); v != mempool.Replayed || e == nil {
+		t.Fatalf("in-window replay: %v, %v", v, e)
+	}
+	if v, e := p.Admit(client, 2, dig(2)); v != mempool.Replayed || e != nil {
+		t.Fatalf("out-of-window replay: %v, %v", v, e)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := mempool.New(mempool.Config{
+		PerClientRate:  10,
+		PerClientBurst: 2,
+		Now:            func() time.Time { return now },
+	})
+	for seq := uint64(1); seq <= 2; seq++ {
+		if v, _ := p.Admit(client, seq, dig(byte(seq))); v != mempool.Admitted {
+			t.Fatalf("seq %d within burst: %v", seq, v)
+		}
+	}
+	if v, _ := p.Admit(client, 3, dig(3)); v != mempool.RateLimited {
+		t.Fatalf("burst exhausted: %v", v)
+	}
+	// Retries of admitted work are free: dedup answers before the bucket.
+	if v, _ := p.Admit(client, 1, dig(1)); v != mempool.Duplicate {
+		t.Fatal("retry charged the bucket")
+	}
+	// Other clients have their own buckets.
+	if v, _ := p.Admit(client+1, 1, dig(1)); v != mempool.Admitted {
+		t.Fatal("bucket shared across clients")
+	}
+	now = now.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if v, _ := p.Admit(client, 3, dig(3)); v != mempool.Admitted {
+		t.Fatal("bucket did not refill")
+	}
+	if got := p.Stats().RateLimited; got != 1 {
+		t.Fatalf("rate-limited count: %d", got)
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	p := mempool.New(mempool.Config{Capacity: 3, PerClientRate: -1})
+	for seq := uint64(1); seq <= 3; seq++ {
+		p.Admit(client, seq, dig(byte(seq)))
+	}
+	if v, _ := p.Admit(client, 4, dig(4)); v != mempool.Admitted {
+		t.Fatal("admission beyond capacity must evict, not reject")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("pool over capacity: %d", p.Len())
+	}
+	// seq 1 was evicted: its retry is new work again, evicting seq 2.
+	if v, _ := p.Admit(client, 1, dig(1)); v != mempool.Admitted {
+		t.Fatal("evicted request not re-admittable")
+	}
+	if v, _ := p.Admit(client, 3, dig(3)); v != mempool.Duplicate {
+		t.Fatal("surviving request lost its pending entry")
+	}
+	if got := p.Stats().Evicted; got != 2 {
+		t.Fatalf("evicted count: %d", got)
+	}
+}
+
+// TestManyClientsBoundedPending holds the pool at saturation across many
+// client identities and checks the pending set honors capacity while every
+// identity stays tracked (replay windows are per client by design).
+func TestManyClientsBoundedPending(t *testing.T) {
+	p := mempool.New(mempool.Config{Capacity: 64, PerClientRate: -1})
+	for i := 0; i < 1000; i++ {
+		id := types.ClientIDBase + types.NodeID(i)
+		for seq := uint64(1); seq <= 5; seq++ {
+			p.Admit(id, seq, dig(byte(seq)))
+		}
+	}
+	if p.Len() > 64 {
+		t.Fatalf("pending %d exceeds capacity", p.Len())
+	}
+	if p.Clients() != 1000 {
+		t.Fatalf("tracked clients: %d", p.Clients())
+	}
+}
+
+func TestMarkExecutedWithoutAdmission(t *testing.T) {
+	p := mempool.New(mempool.Config{})
+	// Bootstrap/catch-up feeds executions the pool never admitted.
+	p.MarkExecuted(client, 5, dig(5), 2)
+	if v, e := p.Admit(client, 5, dig(5)); v != mempool.Replayed || e == nil {
+		t.Fatalf("imported execution not replayable: %v, %v", v, e)
+	}
+}
+
+func TestPrecheckShedsWithoutState(t *testing.T) {
+	p := mempool.New(mempool.Config{})
+
+	// Unknown client and unknown seq: undecided, and — critically — no
+	// per-client state may be created for unauthenticated traffic.
+	if _, _, decided := p.Precheck(client, 1, dig(1)); decided {
+		t.Fatal("fresh request decided by precheck")
+	}
+	if p.Clients() != 0 {
+		t.Fatalf("precheck created client state: %d clients", p.Clients())
+	}
+
+	p.Admit(client, 1, dig(1))
+
+	// Pending duplicate: shed before signature verification.
+	if v, _, decided := p.Precheck(client, 1, dig(1)); !decided || v != mempool.Duplicate {
+		t.Fatalf("pending duplicate: decided=%v verdict=%v", decided, v)
+	}
+	// Equivocating contents for the pending seq shed the same way.
+	if v, _, decided := p.Precheck(client, 1, dig(9)); !decided || v != mempool.Duplicate {
+		t.Fatalf("pending equivocation: decided=%v verdict=%v", decided, v)
+	}
+	// A fresh seq stays undecided (it must pay verification and rate limit).
+	if _, _, decided := p.Precheck(client, 2, dig(2)); decided {
+		t.Fatal("fresh seq decided by precheck")
+	}
+
+	p.MarkExecuted(client, 1, dig(1), 3)
+
+	// Matching replay re-replies from the window without verification…
+	v, e, decided := p.Precheck(client, 1, dig(1))
+	if !decided || v != mempool.Replayed || e == nil || e.Digest != dig(1) || e.TxnCount != 3 {
+		t.Fatalf("executed replay: decided=%v verdict=%v entry=%+v", decided, v, e)
+	}
+	// …but a forged probe with different contents gets no reply bounce.
+	if v, e, decided := p.Precheck(client, 1, dig(9)); !decided || v != mempool.Replayed || e != nil {
+		t.Fatalf("forged probe: decided=%v verdict=%v entry=%v", decided, v, e)
+	}
+
+	st := p.Stats()
+	if st.Duplicate != 2 || st.Replayed != 2 {
+		t.Fatalf("precheck not counted: %+v", st)
+	}
+}

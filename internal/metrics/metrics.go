@@ -53,15 +53,18 @@ func (d *Drops) Snapshot() DropStats {
 	}
 }
 
-// DropStats is a snapshot of Drops, aggregatable across sources.
+// DropStats is a snapshot of Drops, aggregatable across sources. Mempool
+// rides along for reporting convenience: admission outcomes are accounting,
+// not losses, so Total ignores it.
 type DropStats struct {
-	Mailbox      uint64 `json:"mailbox"`
-	SendQueue    uint64 `json:"send_queue"`
-	OutQ         uint64 `json:"out_queue"`
-	Encode       uint64 `json:"encode"`
-	Decode       uint64 `json:"decode"`
-	NoRoute      uint64 `json:"no_route"`
-	VerifyReject uint64 `json:"verify_reject"`
+	Mailbox      uint64       `json:"mailbox"`
+	SendQueue    uint64       `json:"send_queue"`
+	OutQ         uint64       `json:"out_queue"`
+	Encode       uint64       `json:"encode"`
+	Decode       uint64       `json:"decode"`
+	NoRoute      uint64       `json:"no_route"`
+	VerifyReject uint64       `json:"verify_reject"`
+	Mempool      MempoolStats `json:"mempool"`
 }
 
 // Add accumulates o into s (merging per-node or per-transport snapshots).
@@ -73,11 +76,41 @@ func (s *DropStats) Add(o DropStats) {
 	s.Decode += o.Decode
 	s.NoRoute += o.NoRoute
 	s.VerifyReject += o.VerifyReject
+	s.Mempool.Add(o.Mempool)
 }
 
-// Total returns the sum of all drop classes.
+// Total returns the sum of all drop classes. Mempool admission outcomes are
+// not drops and are excluded.
 func (s DropStats) Total() uint64 {
 	return s.Mailbox + s.SendQueue + s.OutQ + s.Encode + s.Decode + s.NoRoute + s.VerifyReject
+}
+
+// MempoolStats counts client-request admission outcomes at one replica's
+// mempool (internal/mempool), aggregatable across replicas. Every inbound
+// request lands in exactly one bucket; Evicted additionally counts admitted
+// requests later displaced by capacity pressure.
+type MempoolStats struct {
+	// Admitted counts first-sighting requests handed to consensus.
+	Admitted uint64 `json:"admitted"`
+	// Duplicate counts retries (or equivocations) of a still-pending
+	// (client, seq), dropped because the original is in flight.
+	Duplicate uint64 `json:"duplicate"`
+	// Replayed counts requests whose (client, seq) already executed; those
+	// inside the replay window are re-replied from the certified ledger.
+	Replayed uint64 `json:"replayed"`
+	// RateLimited counts requests dropped by the per-client token bucket.
+	RateLimited uint64 `json:"rate_limited"`
+	// Evicted counts pending requests displaced by capacity pressure.
+	Evicted uint64 `json:"evicted"`
+}
+
+// Add accumulates o into s.
+func (s *MempoolStats) Add(o MempoolStats) {
+	s.Admitted += o.Admitted
+	s.Duplicate += o.Duplicate
+	s.Replayed += o.Replayed
+	s.RateLimited += o.RateLimited
+	s.Evicted += o.Evicted
 }
 
 // Collector accumulates samples. It is safe for concurrent use (the real

@@ -16,10 +16,15 @@ import (
 	"resilientdb/internal/types"
 )
 
-// Request carries a client batch to the primary. The batch is signed by the
-// client (charged at verification).
+// Request carries a client batch to the primary, authenticated by the
+// submitting client.
 type Request struct {
 	Batch types.Batch
+	// Sig is the client's signature over RequestPayload(&Batch). The fabric
+	// verifies it before admission; a backup forwarding the request carries
+	// it along so the primary can re-verify without trusting the forwarder.
+	// The simulator leaves it empty and models verification as CPU cost.
+	Sig []byte
 	// Forwarded marks backup→primary forwarding of a client request.
 	Forwarded bool
 }
@@ -27,7 +32,13 @@ type Request struct {
 func (*Request) MsgType() string { return "pbft/request" }
 
 // WireSize implements types.Message.
-func (r *Request) WireSize() int { return r.Batch.WireSize() }
+func (r *Request) WireSize() int {
+	n := r.Batch.WireSize()
+	if len(r.Sig) > 0 {
+		n += types.SigBytes
+	}
+	return n
+}
 
 // PrePrepare is the primary's proposal assigning sequence seq in view to the
 // batch.

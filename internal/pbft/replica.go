@@ -122,10 +122,10 @@ type Replica struct {
 	committedUpTo uint64
 	lowWater      uint64 // last stable checkpoint
 
-	queue     []types.Batch // primary-side pending client batches
+	queue     []signedBatch // primary-side pending client batches
 	clientHWM map[types.NodeID]uint64
 	inFlight  map[types.Digest]bool        // primary: proposed, not yet committed
-	forwarded map[types.Digest]types.Batch // backup: awaiting execution
+	forwarded map[types.Digest]signedBatch // backup: awaiting execution
 
 	history      map[uint64]types.Digest // digest chain over committed batches
 	checkpoints  map[uint64]map[types.NodeID]*Checkpoint
@@ -157,7 +157,7 @@ func NewReplica(env proto.Env, cfg Config, hooks Hooks) *Replica {
 		entries:     make(map[uint64]*entry),
 		clientHWM:   make(map[types.NodeID]uint64),
 		inFlight:    make(map[types.Digest]bool),
-		forwarded:   make(map[types.Digest]types.Batch),
+		forwarded:   make(map[types.Digest]signedBatch),
 		history:     map[uint64]types.Digest{0: {}},
 		checkpoints: make(map[uint64]map[types.NodeID]*Checkpoint),
 		certLog:     make(map[uint64]*Certificate),
@@ -232,10 +232,20 @@ func (r *Replica) broadcast(m types.Message) {
 	proto.Multicast(r.env, r.cfg.Members, m)
 }
 
-// SubmitLocal hands a client batch to this replica. The primary enqueues
-// and proposes it; a backup forwards it to the primary and supervises
+// signedBatch couples a buffered client batch with the client signature that
+// authenticated it, so a later forward (or new-view re-forward) carries the
+// proof along instead of asking the receiver to trust this replica.
+type signedBatch struct {
+	b   types.Batch
+	sig []byte
+}
+
+// SubmitLocal hands a client batch to this replica; sig is the client's
+// signature over RequestPayload (nil where the caller's trust model does not
+// use real client signatures, e.g. the simulator). The primary enqueues and
+// proposes the batch; a backup forwards it to the primary and supervises
 // progress (the standard PBFT anti-censorship mechanism).
-func (r *Replica) SubmitLocal(b types.Batch, verified bool) {
+func (r *Replica) SubmitLocal(b types.Batch, sig []byte, verified bool) {
 	if !verified {
 		// Client batches are signed; charge verification (simulated clients
 		// are honest, so the signature check itself is modelled as cost).
@@ -245,7 +255,7 @@ func (r *Replica) SubmitLocal(b types.Batch, verified bool) {
 		return // duplicate
 	}
 	if r.IsPrimary() && !r.inViewChange {
-		r.queue = append(r.queue, b)
+		r.queue = append(r.queue, signedBatch{b, sig})
 		r.tryPropose()
 		return
 	}
@@ -255,10 +265,10 @@ func (r *Replica) SubmitLocal(b types.Batch, verified bool) {
 	if _, dup := r.forwarded[d]; dup {
 		return
 	}
-	r.forwarded[d] = b
+	r.forwarded[d] = signedBatch{b, sig}
 	if !r.inViewChange {
 		r.env.Suite().ChargeMAC()
-		r.env.Send(r.Primary(), &Request{Batch: b, Forwarded: true})
+		r.env.Send(r.Primary(), &Request{Batch: b, Sig: sig, Forwarded: true})
 	}
 	r.armProgressTimer()
 }
@@ -268,13 +278,13 @@ func (r *Replica) tryPropose() {
 		return
 	}
 	for len(r.queue) > 0 && r.nextSeq < r.lowWater+r.cfg.HighWaterMark {
-		b := r.queue[0]
+		b := r.queue[0].b
 		r.queue = r.queue[1:]
 		if !b.NoOp && b.Seq <= r.clientHWM[b.Client] {
 			continue // executed while queued
 		}
 		d := b.Digest()
-		if r.inFlight[d] {
+		if r.inFlight[d] || r.digestLive(d) {
 			continue // a retransmission of a batch already being ordered
 		}
 		r.inFlight[d] = true
@@ -284,6 +294,22 @@ func (r *Replica) tryPropose() {
 		r.broadcast(pp)
 		r.onPrePrepare(r.env.ID(), pp, true) // digest freshly computed above
 	}
+}
+
+// digestLive reports whether d is already bound to an uncommitted-or-
+// unexecuted proposal in the log. inFlight only remembers what THIS replica
+// proposed; after a view change the new primary holds proposals it adopted
+// from new-view proofs (installed via onPrePrepare, which never marks
+// inFlight) while the same batch sits in its queue as an adopted forwarded
+// request — proposing it again would execute the batch twice, the classic
+// client-retry duplication. The scan is bounded by the water-mark window.
+func (r *Replica) digestLive(d types.Digest) bool {
+	for seq, e := range r.entries {
+		if seq > r.committedUpTo && e.hasPrePrepare && e.digest == d {
+			return true
+		}
+	}
+	return false
 }
 
 // HandleMessage dispatches a PBFT message; it returns false if msg is not a
@@ -305,9 +331,10 @@ func (r *Replica) handle(from types.NodeID, msg types.Message, pre bool) bool {
 	switch m := msg.(type) {
 	case *Request:
 		// A forwarded client request: route it by our current role (the
-		// forwarder already verified the client signature).
+		// fabric re-verifies the carried client signature before this point;
+		// the simulator models the forwarder's check as cost).
 		r.env.Suite().ChargeVerifyMAC()
-		r.SubmitLocal(m.Batch, true)
+		r.SubmitLocal(m.Batch, m.Sig, true)
 		return true
 	case *PrePrepare:
 		r.env.Suite().ChargeVerifyMAC()

@@ -43,7 +43,7 @@ func (s *Standalone) InitEnv(env proto.Env) {
 // Receive implements simnet.Handler.
 func (s *Standalone) Receive(from types.NodeID, msg types.Message) {
 	if req, ok := msg.(*Request); ok && from.IsClient() {
-		s.core.SubmitLocal(req.Batch, false)
+		s.core.SubmitLocal(req.Batch, req.Sig, false)
 		return
 	}
 	s.core.HandleMessage(from, msg)

@@ -382,14 +382,14 @@ func (r *Replica) applyNewView(nv *NewView) {
 	// and a replica that just became primary adopts what it was
 	// supervising.
 	if r.IsPrimary() {
-		for _, b := range r.forwarded {
-			r.queue = append(r.queue, b)
+		for _, q := range r.forwarded {
+			r.queue = append(r.queue, q)
 		}
-		r.forwarded = make(map[types.Digest]types.Batch)
+		r.forwarded = make(map[types.Digest]signedBatch)
 	} else {
-		for _, b := range r.forwarded {
+		for _, q := range r.forwarded {
 			r.env.Suite().ChargeMAC()
-			r.env.Send(r.Primary(), &Request{Batch: b, Forwarded: true})
+			r.env.Send(r.Primary(), &Request{Batch: q.b, Sig: q.sig, Forwarded: true})
 		}
 	}
 	if r.hooks.ViewChanged != nil {

@@ -24,11 +24,13 @@ const (
 // EncodeBody implements types.WireMessage.
 func (r *Request) EncodeBody(enc *types.Encoder) {
 	r.Batch.Encode(enc)
+	enc.BytesN(r.Sig)
 	enc.Bool(r.Forwarded)
 }
 
 func decodeRequest(dec *types.Decoder) types.Message {
 	r := &Request{Batch: types.DecodeBatch(dec)}
+	r.Sig = dec.BytesN()
 	r.Forwarded = dec.Bool()
 	return r
 }
@@ -277,6 +279,7 @@ func init() {
 		return []types.Message{
 			&Request{},
 			&Request{Batch: sampleBatch(), Forwarded: true},
+			&Request{Batch: sampleBatch(), Sig: []byte("client-signature-64-bytes.......")},
 		}
 	})
 	types.RegisterMessage((*PrePrepare)(nil).MsgType(),

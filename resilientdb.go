@@ -26,6 +26,7 @@ import (
 	"resilientdb/internal/core"
 	"resilientdb/internal/fabric"
 	"resilientdb/internal/ledger"
+	"resilientdb/internal/mempool"
 	"resilientdb/internal/metrics"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
@@ -85,6 +86,26 @@ type Options struct {
 	// blocks on machine (not process) crash for append throughput. 0
 	// fsyncs every commit. Ignored without DataDir.
 	DiskGroupCommit time.Duration
+	// Clients is how many client identities the deployment provisions
+	// signing keys for (DB.Client indices 0..Clients-1). 0 selects 64.
+	// Every process of a multi-process deployment must agree on it: the
+	// key directory is derived from it, and replicas reject requests from
+	// unprovisioned identities.
+	Clients int
+	// MempoolCapacity caps each replica's pool of admitted-but-unexecuted
+	// client requests; beyond it the oldest pending request is evicted
+	// (clients simply retry — admission is idempotent). 0 selects 4096.
+	MempoolCapacity int
+	// ClientRate limits how many *new* requests per second one client
+	// identity may get admitted (duplicates and replays are answered for
+	// free). 0 selects 512/s; negative disables rate limiting.
+	ClientRate float64
+	// ClientBurst is the rate limiter's burst allowance (0: 512).
+	ClientBurst int
+	// ReplayWindow is how many executed requests per client each replica
+	// remembers to answer retries from the certified ledger instead of
+	// re-executing (0: 32).
+	ReplayWindow int
 	// Net, if non-nil, runs this process as one member of a multi-process
 	// TCP deployment instead of a self-contained in-process fabric.
 	Net *NetOptions
@@ -151,6 +172,13 @@ func Open(o Options) (*DB, error) {
 		DataDir:          o.DataDir,
 		DiskSegmentBytes: o.DiskSegmentBytes,
 		DiskGroupCommit:  o.DiskGroupCommit,
+		Clients:          o.Clients,
+		Mempool: mempool.Config{
+			Capacity:       o.MempoolCapacity,
+			PerClientRate:  o.ClientRate,
+			PerClientBurst: o.ClientBurst,
+			ReplayWindow:   o.ReplayWindow,
+		},
 	}
 	var latency func(from, to types.NodeID) time.Duration
 	if o.EmulateWAN {
