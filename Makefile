@@ -25,34 +25,40 @@ fmt:
 # packages whose godoc is the operations/API reference (see ARCHITECTURE.md).
 docs-check: vet
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
-	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/transport ./internal/chaos ./internal/byzantine ./internal/mempool .
+	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/snapshot ./internal/transport ./internal/chaos ./internal/byzantine ./internal/mempool .
 
 # Short fuzz pass over the wire codec (decode must never panic), the ledger
-# importer (rejected ranges must leave the chain untouched), and block-store
+# importer (rejected ranges must leave the chain untouched), block-store
 # recovery (corrupt/torn segment files must yield a clean prefix or a clean
-# error — never a panic, never an unverified block).
+# error — never a panic, never an unverified block), and the snapshot
+# manifest (mutated checkpoint manifests must be rejected cleanly and keep a
+# stable identity key through wire round-trips).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 30s ./internal/types/
 	$(GO) test -run '^$$' -fuzz FuzzLedgerImport -fuzztime 30s ./internal/ledger/
 	$(GO) test -run '^$$' -fuzz FuzzDiskRecovery -fuzztime 30s ./internal/ledger/disk/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotManifest -fuzztime 30s ./internal/snapshot/
 
 # Seeded fault-injection scenario suite, race-instrumented: the crash/
-# partition/restart scenarios plus the Byzantine suite (equivocating
-# primary, forged certificate shares, view-change spam, tampered catch-up)
-# over the full seed matrix, and the harness's own teeth test (a >f
-# coalition must demonstrably break the safety checks). Replay one failure
-# byte-for-byte with CHAOS_SEED=<seed> make chaos. See README "Failure
-# model & recovery".
+# partition/restart scenarios, the bounded-history scenarios (a fresh
+# replica joining a GC'd 100k-block chain via verified snapshot transfer)
+# plus the Byzantine suite (equivocating primary, forged certificate
+# shares, view-change spam, tampered catch-up, starved catch-up peer,
+# tampered snapshot server) over the full seed matrix, and the harness's
+# own teeth test (a >f coalition must demonstrably break the safety
+# checks). Replay one failure byte-for-byte with CHAOS_SEED=<seed> make
+# chaos. See README "Failure model & recovery".
 chaos:
 	CHAOS_MATRIX=full $(GO) test -race -v -count=1 -run 'TestChaosScenarios|TestByzantine|TestRunEnforcesFaultBound' ./internal/chaos/
 
 # Performance suite: fabric macro-benchmark (Real crypto, Mem + TCP loopback,
-# serial vs verify pool, plus the 10k-client admission-saturation shape) and
-# codec micro-benchmarks; writes BENCH_PR6.json with txn/s, allocs/op, drop
-# counts and the peak mempool length. See README "Performance" for how to
-# read the numbers (especially on 1-core hosts). Durability micro-benchmarks
-# (ledger append under each fsync policy, disk bootstrap) live in
-# ./internal/ledger/disk:
+# serial vs verify pool, plus the 10k-client admission-saturation shape),
+# the snapshot-bootstrap column (verify+install cost of joining from a
+# checkpoint across state sizes) and codec micro-benchmarks; writes
+# BENCH_PR7.json with txn/s, allocs/op, drop counts and the peak mempool
+# length. See README "Performance" for how to read the numbers (especially
+# on 1-core hosts). Durability micro-benchmarks (ledger append under each
+# fsync policy, disk bootstrap) live in ./internal/ledger/disk:
 #   go test -run '^$' -bench . ./internal/ledger/disk/
 bench:
-	$(GO) run ./cmd/fabricbench -out BENCH_PR6.json
+	$(GO) run ./cmd/fabricbench -out BENCH_PR7.json

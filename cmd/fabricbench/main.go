@@ -1,12 +1,14 @@
-// Command fabricbench runs the PR-2 performance suite — the fabric
+// Command fabricbench runs the repository's performance suite — the fabric
 // macro-benchmark (committed-txn throughput with Real cryptography, over the
-// Mem and TCP-loopback transports, serial baseline vs parallel verify pool)
-// and the wire-codec micro-benchmarks — and writes the results as JSON so
-// the repository's performance trajectory has committed data points.
+// Mem and TCP-loopback transports, serial baseline vs parallel verify pool),
+// the snapshot-bootstrap measurement (verify+install cost of joining from a
+// checkpoint across state sizes), and the wire-codec micro-benchmarks — and
+// writes the results as JSON so the repository's performance trajectory has
+// committed data points.
 //
 // Usage:
 //
-//	go run ./cmd/fabricbench -out BENCH_PR6.json -duration 2s
+//	go run ./cmd/fabricbench -out BENCH_PR7.json -duration 2s
 package main
 
 import (
@@ -45,14 +47,15 @@ type report struct {
 		NumCPU     int    `json:"num_cpu"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"host"`
-	Note     string               `json:"note"`
-	Fabric   []fabricbench.Result `json:"fabric"`
-	Speedups []speedup            `json:"speedups"`
-	Codec    []codecResult        `json:"codec"`
+	Note     string                                `json:"note"`
+	Fabric   []fabricbench.Result                  `json:"fabric"`
+	Speedups []speedup                             `json:"speedups"`
+	Codec    []codecResult                         `json:"codec"`
+	Snapshot []fabricbench.SnapshotBootstrapResult `json:"snapshot_bootstrap"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	duration := flag.Duration("duration", 20*time.Second, "measured window per scenario")
 	warmup := flag.Duration("warmup", 5*time.Second, "warmup per scenario")
 	only := flag.String("only", "", "run only scenarios whose name contains this substring")
@@ -105,6 +108,20 @@ func main() {
 				})
 			}
 		}
+	}
+
+	// Snapshot-bootstrap column: the verify+install cost of joining from a
+	// checkpoint instead of replaying the GC'd chain, across state sizes.
+	for _, records := range []int{1_000, 100_000, 1_000_000} {
+		fmt.Fprintf(os.Stderr, "snapshot bootstrap %d records...\n", records)
+		res, err := fabricbench.SnapshotBootstrap(records, 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  %8d records  %9d bytes  verify %.2fms + install %.2fms  (%.0f MB/s)\n",
+			res.Records, res.StateBytes, res.VerifyMs, res.InstallMs, res.MBPerSec)
+		rep.Snapshot = append(rep.Snapshot, res)
 	}
 
 	for _, c := range fabricbench.CodecCases() {

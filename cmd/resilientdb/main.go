@@ -29,7 +29,8 @@
 // recovers from those files alone: a tail torn by the crash is truncated,
 // the surviving prefix is re-verified certificate by certificate, and peers
 // supply only the missing suffix. -segment-bytes and -group-commit tune the
-// store (see the README's Operations section).
+// store, and -snapshot-interval / -retain-segments bound its history with
+// checkpoint snapshots and segment GC (see the README's Operations section).
 //
 // A replica process serves until SIGINT/SIGTERM (or -serve elapses), then
 // verifies its ledger and prints one final line:
@@ -85,10 +86,12 @@ func run(args []string, out io.Writer) error {
 	serve := fs.Duration("serve", 0, "replica auto-shutdown after this duration (0: run until signal)")
 	localTimeout := fs.Duration("local-timeout", 500*time.Millisecond, "local view-change timeout")
 	remoteTimeout := fs.Duration("remote-timeout", time.Second, "remote view-change timeout")
-	adversary := fs.String("adversary", "", "compromise one hosted replica with a scripted byzantine attack: equivocate, forge-shares, vc-spam, tamper-catchup, or suppress")
+	adversary := fs.String("adversary", "", "compromise one hosted replica with a scripted byzantine attack: equivocate, forge-shares, vc-spam, tamper-catchup, tamper-snapshots, or suppress")
 	dataDir := fs.String("data-dir", "", "persist each hosted replica's ledger to a block store under this directory; a restarted process recovers from it")
 	segmentBytes := fs.Int64("segment-bytes", 0, "block-store segment file size cap in bytes (0: 4 MiB); needs -data-dir")
 	groupCommit := fs.Duration("group-commit", 0, "batch block-store fsyncs at this interval instead of per block (0: fsync every commit); needs -data-dir")
+	snapshotInterval := fs.Uint64("snapshot-interval", 0, "write a checkpoint snapshot of executed state every N rounds and GC ledger segments below it (0: disabled, history unbounded)")
+	retainSegments := fs.Int("retain-segments", 0, "block-store segments to keep below the last durable checkpoint (0: 2); needs -snapshot-interval")
 	provisionClients := fs.Int("provision-clients", 0, "client identities to provision signing keys for; all processes must agree (0: 64)")
 	mempoolCap := fs.Int("mempool-cap", 0, "per-replica cap on admitted-but-unexecuted client requests (0: 4096)")
 	clientRate := fs.Float64("client-rate", 0, "per-client admission rate limit in new requests/s (0: 512; negative disables)")
@@ -101,7 +104,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit}
+	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit,
+		snapshotInterval: *snapshotInterval, retainSegments: *retainSegments}
 	adm := admissionOptions{clients: *provisionClients, capacity: *mempoolCap, rate: *clientRate, burst: *clientBurst, window: *replayWindow}
 	if *listen == "" {
 		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, adm, *adversary)
@@ -138,6 +142,8 @@ func run(args []string, out io.Writer) error {
 		DataDir:            disk.dir,
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
+		SnapshotInterval:   disk.snapshotInterval,
+		RetainSegments:     disk.retainSegments,
 		Clients:            adm.clients,
 		MempoolCapacity:    adm.capacity,
 		ClientRate:         adm.rate,
@@ -191,6 +197,7 @@ func runReplica(out io.Writer, db *resilientdb.DB, id, perCluster int, serve tim
 	}
 	fmt.Fprintf(out, "replica %d: ledger height=%d head=%s verified\n",
 		id, led.Height(), led.Head().Short())
+	printSnapshotStats(out, db)
 	return nil
 }
 
@@ -223,9 +230,11 @@ func runClient(out io.Writer, db *resilientdb.DB, idx, batches, batchSize int) e
 
 // diskOptions groups the persistence flags threaded into resilientdb.Options.
 type diskOptions struct {
-	dir          string
-	segmentBytes int64
-	groupCommit  time.Duration
+	dir              string
+	segmentBytes     int64
+	groupCommit      time.Duration
+	snapshotInterval uint64
+	retainSegments   int
 }
 
 // admissionOptions groups the client-admission flags (identity provisioning
@@ -254,6 +263,8 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		DataDir:            disk.dir,
 		DiskSegmentBytes:   disk.segmentBytes,
 		DiskGroupCommit:    disk.groupCommit,
+		SnapshotInterval:   disk.snapshotInterval,
+		RetainSegments:     disk.retainSegments,
 		Clients:            adm.clients,
 		MempoolCapacity:    adm.capacity,
 		ClientRate:         adm.rate,
@@ -312,8 +323,24 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		return err
 	}
 	fmt.Fprintf(out, "ledger: %d blocks, head %s (verified)\n", led.Height(), led.Head().Short())
+	printSnapshotStats(out, db)
 	if adversary != "" {
 		fmt.Fprintf(out, "adversary: %d forged messages rejected\n", db.Stats().VerifyReject)
 	}
 	return nil
+}
+
+// printSnapshotStats reports checkpoint/GC activity (and any block-store
+// detachment) when the deployment produced some; a run without
+// -snapshot-interval and without store failures prints nothing.
+func printSnapshotStats(out io.Writer, db *resilientdb.DB) {
+	snap := db.Stats().Snapshots
+	if snap != (resilientdb.SnapshotStats{}) {
+		fmt.Fprintf(out, "snapshots: %d written, %d served, %d installed, %d rejected; gc: %d segments (%d bytes) reclaimed, %d bytes on disk\n",
+			snap.Written, snap.Served, snap.Installed, snap.Rejected,
+			snap.SegmentsReclaimed, snap.BytesReclaimed, snap.DiskBytes)
+	}
+	if snap.StoreErrs > 0 {
+		fmt.Fprintf(out, "warning: %d replica block store(s) detached after persistence failures (running memory-only)\n", snap.StoreErrs)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"resilientdb/internal/core"
 	"resilientdb/internal/ledger"
 	"resilientdb/internal/pbft"
+	"resilientdb/internal/snapshot"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -28,6 +29,9 @@ import (
 //     forged remote view-change requests, probing the spam defenses.
 //   - CatchupTamperer: tampered and fabricated catch-up responses aimed at a
 //     recovering replica (the state-transfer attack surface).
+//   - SnapshotTamperer: corrupted checkpoint manifests and state chunks
+//     served to a snapshot-bootstrapping replica (the bounded-history attack
+//     surface).
 //   - Suppressor: selective per-victim message suppression (a "gray"
 //     failure: the attacker is alive but starves chosen peers).
 
@@ -423,6 +427,103 @@ func forgedResp(a *Adversary) *core.CatchUpResp {
 	return &core.CatchUpResp{Blocks: blocks, Height: uint64(2 * z)}
 }
 
+// SnapshotTamperer attacks snapshot-based state transfer: every snapshot
+// response the compromised replica serves is replaced by a deterministically
+// corrupted variant — a garbled endorsement signature, a wrong state hash, a
+// forged commit certificate, or tampered chunk bytes. Where the corruption
+// leaves the manifest signable, it is re-signed with the compromised
+// replica's own key (exactly the power a Byzantine replica has), so the
+// deeper check — certificate verification, the f+1 matching-key quorum, the
+// chunk content address — is the one exercised rather than the outer
+// signature. A joining replica must never install any of it: verifiable
+// forgeries are rejected and counted, key-diverging manifests starve the
+// quorum, and the joiner converges through honest peers.
+type SnapshotTamperer struct {
+	mu     sync.Mutex
+	mans   int
+	chunks int
+}
+
+// Name implements Script.
+func (s *SnapshotTamperer) Name() string { return "snapshot-tamperer" }
+
+// Rewrite implements Script.
+func (s *SnapshotTamperer) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]transport.Delivery, bool) {
+	resp, ok := msg.(*core.SnapshotResp)
+	if !ok {
+		return nil, false
+	}
+	if resp.Manifest != nil {
+		s.mu.Lock()
+		n := s.mans
+		s.mans++
+		s.mu.Unlock()
+		a.tampered.Add(1)
+		return []transport.Delivery{{To: to, Msg: &core.SnapshotResp{
+			Manifest: tamperManifest(a, resp.Manifest, n),
+			Round:    resp.Round,
+			Chunk:    resp.Chunk,
+		}}}, true
+	}
+	if len(resp.Data) == 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	n := s.chunks
+	s.chunks++
+	s.mu.Unlock()
+	a.tampered.Add(1)
+	data := append([]byte(nil), resp.Data...)
+	if n%2 == 0 {
+		data[0] ^= 0xff // wrong bytes, right length: content address must catch it
+	} else {
+		data = data[:len(data)-1] // truncated: length check must catch it
+	}
+	return []transport.Delivery{{To: to, Msg: &core.SnapshotResp{
+		Round: resp.Round, Chunk: resp.Chunk, Data: data,
+	}}}, true
+}
+
+// tamperManifest builds the n-th deterministic manifest forgery without
+// mutating the original (it is shared with the sender's own snapshot state).
+func tamperManifest(a *Adversary, m *snapshot.Manifest, n int) *snapshot.Manifest {
+	forged := *m
+	forged.Chunks = append([]types.Digest(nil), m.Chunks...)
+	forged.Hist = append([]types.Digest(nil), m.Hist...)
+	forged.Sig = append([]byte(nil), m.Sig...)
+	switch n % 4 {
+	case 0: // garble the endorsement signature
+		if len(forged.Sig) > 0 {
+			forged.Sig[0] ^= 0xff
+		} else {
+			forged.Sig = []byte("forged")
+		}
+	case 1: // claim a different state, validly re-signed: key diverges
+		forged.StateHash[0] ^= 0xff
+		forged.Sign(a.suite)
+	case 2: // forge the commit certificate behind the checkpoint
+		if m.Cert != nil {
+			cert := *m.Cert
+			cert.Signers = append([]types.NodeID(nil), m.Cert.Signers...)
+			cert.Sigs = make([][]byte, len(m.Cert.Sigs))
+			for i, sig := range m.Cert.Sigs {
+				cert.Sigs[i] = append([]byte(nil), sig...)
+			}
+			if len(cert.Sigs) > 0 && len(cert.Sigs[0]) > 0 {
+				cert.Sigs[0][0] ^= 0xff
+			}
+			forged.Cert = &cert
+		}
+		forged.Sign(a.suite)
+	case 3: // rewrite one cluster's commit history, validly re-signed
+		if len(forged.Hist) > 0 {
+			forged.Hist[0][0] ^= 0xff
+		}
+		forged.Sign(a.suite)
+	}
+	return &forged
+}
+
 // Suppressor silently drops the compromised replica's messages to the
 // configured victims — selective starvation, the "gray failure" where a
 // Byzantine replica is responsive to everyone except its targets. Types,
@@ -494,7 +595,7 @@ func (c composite) Rewrite(a *Adversary, to types.NodeID, msg types.Message) ([]
 // ScriptByName builds a named built-in script for the given compromised
 // replica — the command-line entry point (cmd/resilientdb -adversary).
 // Recognized names: "equivocate", "forge-shares", "vc-spam",
-// "tamper-catchup", "suppress".
+// "tamper-catchup", "tamper-snapshots", "suppress".
 func ScriptByName(name string, topo config.Topology, self types.NodeID) (Script, error) {
 	switch name {
 	case "equivocate":
@@ -505,8 +606,10 @@ func ScriptByName(name string, topo config.Topology, self types.NodeID) (Script,
 		return &ViewChangeSpammer{}, nil
 	case "tamper-catchup":
 		return &CatchupTamperer{Victim: types.NoNode}, nil
+	case "tamper-snapshots":
+		return &SnapshotTamperer{}, nil
 	case "suppress":
 		return &Suppressor{Victims: []types.NodeID{types.NoNode}}, nil
 	}
-	return nil, fmt.Errorf("byzantine: unknown adversary script %q (want equivocate, forge-shares, vc-spam, tamper-catchup, or suppress)", name)
+	return nil, fmt.Errorf("byzantine: unknown adversary script %q (want equivocate, forge-shares, vc-spam, tamper-catchup, tamper-snapshots, or suppress)", name)
 }

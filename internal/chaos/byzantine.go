@@ -25,6 +25,8 @@ func ByzantineScenarios() []Scenario {
 		forgedShares(),
 		viewChangeSpam(),
 		tamperedCatchup(),
+		byzStarvedCatchup(),
+		byzTamperedSnapshot(),
 		rogueClientStorm(),
 	}
 }
@@ -286,6 +288,58 @@ func tamperedCatchup() Scenario {
 			}
 			rep := e.Fab.Replica(e.ReplicaID(0, 3))
 			if got := rep.CatchUpBlocks(); got == 0 {
+				return fmt.Errorf("chaos: the victim recovered nothing over the network")
+			}
+			return e.AssertPrefixes()
+		},
+	}
+}
+
+// byzStarvedCatchup is the regression scenario for catch-up peer rotation: a
+// backup crashes, the deployment advances, and the backup rejoins with
+// amnesia while the first peer its recovery will ask — the head of its
+// rotation order — silently drops every catch-up and snapshot response to
+// it (a gray failure). Before rotation + bounded backoff, a recovering
+// replica retried one random peer and a silent one could stall convergence
+// indefinitely; now the cursor must advance past the mute peer and the
+// victim must rebuild the whole chain from the honest ones.
+func byzStarvedCatchup() Scenario {
+	return Scenario{
+		Name:        "byz-starved-catchup",
+		Description: "the victim's first-choice recovery peer never answers: rotation + backoff converge via the others",
+		Clusters:    2, Replicas: 4,
+		Byzantine: []Role{{Cluster: 0, Index: 0, Script: &byzantine.Suppressor{
+			Victims: []types.NodeID{types.NoNode},
+			Types:   []string{"geobft/catchup-resp", "geobft/snapshot-resp"},
+		}}},
+		Run: func(e *Env) error {
+			e.StartLoad(0)
+			e.StartLoad(1)
+			if err := e.WaitHeight(0, 2, warmup, 60*time.Second); err != nil {
+				return err
+			}
+			e.Crash(0, 3)
+			h := e.Height(0, 2)
+			// Leave the crashed replica far behind so recovery genuinely
+			// needs block transfer.
+			if err := e.WaitHeight(0, 2, h+4*uint64(e.Topo.Clusters), 120*time.Second); err != nil {
+				return err
+			}
+			// The victim's first-choice peer goes mute before it rejoins.
+			e.Arm(0, 0)
+			if err := e.Restart(0, 3, false); err != nil { // amnesia
+				return err
+			}
+			time.Sleep(time.Second)
+			e.StopLoads()
+			if err := e.WaitConverged(120 * time.Second); err != nil {
+				return err
+			}
+			e.StopAll()
+			if st := e.Adversary(0, 0).Stats(); st.Suppressed == 0 {
+				return fmt.Errorf("chaos: the suppressor never starved the victim's recovery")
+			}
+			if got := e.Fab.Replica(e.ReplicaID(0, 3)).CatchUpBlocks(); got == 0 {
 				return fmt.Errorf("chaos: the victim recovered nothing over the network")
 			}
 			return e.AssertPrefixes()

@@ -48,6 +48,18 @@ type Scenario struct {
 	// directory, so restarts recover from real files (and the scenario can
 	// corrupt those files to model torn writes).
 	Disk bool
+	// SnapshotInterval bounds history for the run: every N rounds each
+	// replica checkpoints its executed state and garbage-collects ledger
+	// segments below it (0: disabled). See fabric.Config.SnapshotInterval.
+	SnapshotInterval uint64
+	// RetainSegments is the segment retention below checkpoints (0: 2).
+	RetainSegments int
+	// Seed, when set, pre-populates the scenario's data directory before
+	// the deployment opens (disk-backed scenarios only): the hook writes
+	// each replica's stores exactly as a prior long, GC'd run would have
+	// left them, so a scenario can model joining a chain far longer than a
+	// test could execute live.
+	Seed func(dataDir string, topo config.Topology) error
 	// Byzantine hands replicas to scripted adversaries. Compromised
 	// replicas keep running their honest state machine, but every message
 	// they send passes through the role's attack script. They are excluded
@@ -102,13 +114,15 @@ func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 		tr = transport.NewTap(net, fleet.Intercept)
 	}
 	cfg := fabric.Config{
-		Topo:          topo,
-		BatchSize:     4,
-		Records:       128,
-		LocalTimeout:  400 * time.Millisecond,
-		RemoteTimeout: 700 * time.Millisecond,
-		Transport:     tr,
-		Mempool:       s.Mempool,
+		Topo:             topo,
+		BatchSize:        4,
+		Records:          128,
+		LocalTimeout:     400 * time.Millisecond,
+		RemoteTimeout:    700 * time.Millisecond,
+		Transport:        tr,
+		Mempool:          s.Mempool,
+		SnapshotInterval: s.SnapshotInterval,
+		RetainSegments:   s.RetainSegments,
 	}
 	var dataDir string
 	if s.Disk {
@@ -118,6 +132,11 @@ func Run(s Scenario, seed int64, logf func(format string, args ...any)) error {
 		}
 		defer os.RemoveAll(dataDir)
 		cfg.DataDir = dataDir
+		if s.Seed != nil {
+			if err := s.Seed(dataDir, topo); err != nil {
+				return fmt.Errorf("chaos: seeding %s: %w", s.Name, err)
+			}
+		}
 	}
 	fab, err := fabric.Open(cfg)
 	if err != nil {
@@ -197,6 +216,16 @@ func (e *Env) Arm(cluster, idx int) {
 // discarded by a cryptographic check, pooled or inline (see
 // metrics.DropStats.VerifyReject).
 func (e *Env) VerifyRejects() uint64 { return e.Fab.Stats().VerifyReject }
+
+// SnapshotStats reads the deployment-wide checkpoint/GC counters (snapshots
+// written, served, installed, rejected; segments and bytes reclaimed), summed
+// across replicas.
+func (e *Env) SnapshotStats() metrics.SnapshotStats { return e.Fab.Stats().Snapshots }
+
+// NodeSnapshotStats reads one replica's checkpoint/GC counters.
+func (e *Env) NodeSnapshotStats(cluster, idx int) metrics.SnapshotStats {
+	return e.Fab.Node(e.ReplicaID(cluster, idx)).SnapshotStats()
+}
 
 // MempoolStats reads the deployment-wide client admission counters
 // (duplicates shed, replays answered from the ledger, rate-limited and

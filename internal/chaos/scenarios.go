@@ -15,6 +15,7 @@ func Scenarios() []Scenario {
 		partitionHeal(),
 		restartCatchUp(),
 		crashWithDisk(),
+		snapshotJoin(),
 	}
 }
 

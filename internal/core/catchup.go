@@ -23,6 +23,25 @@ import (
 // replica pulls ranges repeatedly until the gap closes.
 const catchupBatch = 64
 
+// catchupParallel is how many peers a wide gap is pulled from concurrently,
+// each serving a staggered range; responses arriving out of order wait in a
+// small stash until the gap below them fills.
+const catchupParallel = 3
+
+// catchupStashMax bounds the out-of-order stash (ranges, not blocks).
+const catchupStashMax = 8
+
+// catchupMaxBackoff caps the no-progress retry back-off at
+// catchupInterval·2^catchupMaxBackoff.
+const catchupMaxBackoff = 6
+
+// cuRange is one stashed catch-up range. pre marks ranges whose certificates
+// already passed the verify pool, so import skips re-verification.
+type cuRange struct {
+	blocks []*ledger.Block
+	pre    bool
+}
+
 // catchupInterval paces the gap-supervision timer.
 func (r *Replica) catchupInterval() time.Duration {
 	d := r.cfg.RemoteTimeout / 4
@@ -40,15 +59,30 @@ func (r *Replica) scheduleCatchup() {
 	if r.catchupTimer != nil {
 		return
 	}
-	r.catchupTimer = r.env.SetTimer(r.catchupInterval(), r.catchupTick)
+	d := r.catchupInterval()
+	for i := uint(0); i < r.cuFails && i < catchupMaxBackoff; i++ {
+		d *= 2
+	}
+	r.catchupTimer = r.env.SetTimer(d, r.catchupTick)
 }
 
 func (r *Replica) catchupTick() {
 	r.catchupTimer = nil
 	if !r.catchupGap() {
+		r.cuFails = 0
 		return
 	}
-	r.sendCatchUpReq()
+	// Back off when ticks stop making progress (the reachable peers are dead,
+	// suppressed, or as far behind as we are); any height gain resets it.
+	if h := r.ledger.Height(); h > r.cuLastHeight {
+		r.cuFails = 0
+		r.cuLastHeight = h
+	} else {
+		r.cuFails++
+	}
+	if r.sync == nil {
+		r.sendCatchUpReq()
+	}
 	r.scheduleCatchup()
 }
 
@@ -75,20 +109,52 @@ func (r *Replica) catchupGap() bool {
 	return r.behindSeq > r.local.CommittedUpTo()
 }
 
-// sendCatchUpReq asks one random local-cluster peer for the blocks we are
-// missing. Every replica retains the full chain, and intra-cluster links are
-// the cheap ones; a dead peer simply costs one dropped message and the next
-// tick retries another.
+// catchupPeers returns the next k peers of the rotation: own-cluster members
+// first (intra-cluster links are the cheap ones), then every other cluster's
+// replicas, so a dead or suppressed local peer costs one missed slot and the
+// rotation moves past it to a different server — eventually any correct
+// replica of any cluster. The cursor advances one slot per call.
+func (r *Replica) catchupPeers(k int) []types.NodeID {
+	if r.cuOrder == nil {
+		for _, p := range r.members {
+			if p != r.cfg.Self {
+				r.cuOrder = append(r.cuOrder, p)
+			}
+		}
+		for c := 0; c < r.cfg.Topo.Clusters; c++ {
+			if c != r.myCluster {
+				r.cuOrder = append(r.cuOrder, r.cfg.Topo.ClusterMembers(c)...)
+			}
+		}
+	}
+	n := len(r.cuOrder)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	peers := make([]types.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		peers = append(peers, r.cuOrder[(r.cuNext+i)%n])
+	}
+	r.cuNext = (r.cuNext + 1) % n
+	return peers
+}
+
+// sendCatchUpReq pulls missing blocks from the rotating peer set. A wide gap
+// (more than one batch of provably certified blocks) fans out to
+// catchupParallel peers with staggered ranges; narrow gaps ask one peer.
 func (r *Replica) sendCatchUpReq() {
-	if len(r.members) < 2 {
-		return
+	h := r.ledger.Height()
+	fan := 1
+	if certified := r.evidencedRound * uint64(r.cfg.Topo.Clusters); certified > h+catchupBatch {
+		fan = catchupParallel
 	}
-	peer := r.cfg.Self
-	for peer == r.cfg.Self {
-		peer = r.members[r.env.Rand().Intn(len(r.members))]
+	for i, p := range r.catchupPeers(fan) {
+		r.env.Suite().ChargeMAC()
+		r.env.Send(p, &CatchUpReq{NextHeight: h + 1 + uint64(i)*catchupBatch})
 	}
-	r.env.Suite().ChargeMAC()
-	r.env.Send(peer, &CatchUpReq{NextHeight: r.ledger.Height() + 1})
 }
 
 func (r *Replica) onCatchUpReq(from types.NodeID, m *CatchUpReq) {
@@ -96,41 +162,88 @@ func (r *Replica) onCatchUpReq(from types.NodeID, m *CatchUpReq) {
 		return
 	}
 	blocks := trimToRoundBoundary(r.ledger.Export(m.NextHeight, catchupBatch), r.cfg.Topo.Clusters)
-	if len(blocks) == 0 {
-		return
+	if len(blocks) == 0 && m.NextHeight > r.ledger.Base() {
+		return // nothing useful: the requester is at or past our suffix
 	}
+	// An empty response still goes out when the requested height sits at or
+	// below our GC base: Base is how the requester learns that blocks cannot
+	// reach it and a snapshot bootstrap is required.
 	r.env.Suite().ChargeMAC()
-	r.env.Send(from, &CatchUpResp{Blocks: blocks, Height: r.ledger.Height()})
+	r.env.Send(from, &CatchUpResp{Blocks: blocks, Height: r.ledger.Height(), Base: r.ledger.Base()})
 }
 
-func (r *Replica) onCatchUpResp(from types.NodeID, m *CatchUpResp) {
+// onCatchUpResp applies a verified block range. pre marks responses whose
+// certificates already passed the verify pool.
+func (r *Replica) onCatchUpResp(from types.NodeID, m *CatchUpResp, pre bool) {
+	if from.IsClient() {
+		return
+	}
+	if m.Base > r.ledger.Height() {
+		// The peer garbage-collected past our whole chain: no block range can
+		// ever connect to our head — bootstrap from a verified snapshot.
+		r.startSnapshotSync(m.Base)
+		return
+	}
 	blocks := trimToRoundBoundary(m.Blocks, r.cfg.Topo.Clusters)
-	// Skip any prefix another response already delivered; the remainder must
-	// start exactly at our next height or the response is stale.
-	h := r.ledger.Height()
-	start := -1
-	for i, b := range blocks {
-		if b != nil && b.Height == h+1 {
-			start = i
-			break
-		}
-	}
-	if start < 0 {
+	if len(blocks) == 0 || blocks[0] == nil {
 		return
 	}
-	if err := r.applyImportedBlocks(blocks[start:], true); err != nil {
-		// Malformed or forged range: the ledger is untouched and the next
-		// tick retries another peer. Counted — a tampered catch-up response
-		// must land in the drop statistics, not vanish.
-		r.noteReject()
-		return
-	}
-	if m.Height > r.ledger.Height() {
+	r.stashRange(blocks, pre)
+	r.drainStash()
+	if m.Height > r.ledger.Height() && r.sync == nil {
 		// The peer holds more: pull the next range immediately instead of
 		// waiting out a timer tick.
 		r.sendCatchUpReq()
 	}
 	r.scheduleCatchup()
+}
+
+// stashRange parks a received range for ordered application: parallel
+// staggered fetches legitimately return out of order, so a range starting
+// past our next height waits until the gap below it fills.
+func (r *Replica) stashRange(blocks []*ledger.Block, pre bool) {
+	first := blocks[0].Height
+	if r.cuStash == nil {
+		r.cuStash = make(map[uint64]cuRange)
+	}
+	if _, ok := r.cuStash[first]; !ok && len(r.cuStash) >= catchupStashMax {
+		return // full: drop, the next tick re-pulls
+	}
+	if old, ok := r.cuStash[first]; !ok || len(blocks) > len(old.blocks) {
+		r.cuStash[first] = cuRange{blocks: blocks, pre: pre}
+	}
+}
+
+// drainStash applies every stashed range that now connects to the chain head,
+// repeating until no range fits (each application may unblock another).
+func (r *Replica) drainStash() {
+	for {
+		applied := false
+		for first, rng := range r.cuStash {
+			h := r.ledger.Height()
+			last := first + uint64(len(rng.blocks)) - 1
+			if last <= h {
+				delete(r.cuStash, first)
+				continue // wholly delivered by another range
+			}
+			if first > h+1 {
+				continue // still a gap below it
+			}
+			delete(r.cuStash, first)
+			// Skip the prefix another range already delivered.
+			if err := r.applyImportedBlocks(rng.blocks[h+1-first:], true, rng.pre); err != nil {
+				// Malformed or forged range: the ledger is untouched and the
+				// next tick retries another peer. Counted — a tampered
+				// catch-up response must land in the drop statistics.
+				r.noteReject()
+			} else {
+				applied = true
+			}
+		}
+		if !applied {
+			return
+		}
+	}
 }
 
 // Bootstrap replays a previously persisted ledger into a freshly initialized
@@ -140,7 +253,7 @@ func (r *Replica) onCatchUpResp(from types.NodeID, m *CatchUpResp) {
 // re-verified and the hash chain re-derived. It must run on the replica's
 // event loop, after InitEnv and before any message is processed.
 func (r *Replica) Bootstrap(blocks []*ledger.Block) error {
-	return r.applyImportedBlocks(trimToRoundBoundary(blocks, r.cfg.Topo.Clusters), false)
+	return r.applyImportedBlocks(trimToRoundBoundary(blocks, r.cfg.Topo.Clusters), false, false)
 }
 
 // trimToRoundBoundary cuts a block range back to the last complete round:
@@ -162,12 +275,19 @@ func trimToRoundBoundary(blocks []*ledger.Block, z int) []*ledger.Block {
 // execution bookkeeping, and the local-PBFT fast-forward. notify controls
 // the OnExecute upcall: network catch-up fires it (the replica is executing
 // these batches for the first time), a disk bootstrap does not (it already
-// observed them before the crash).
-func (r *Replica) applyImportedBlocks(blocks []*ledger.Block, notify bool) error {
+// observed them before the crash). pre marks ranges whose certificates were
+// already verified by the parallel verify pool, so import checks only the
+// cheap layout invariants — the expensive n−f signature checks ran off the
+// worker thread.
+func (r *Replica) applyImportedBlocks(blocks []*ledger.Block, notify, pre bool) error {
 	if len(blocks) == 0 {
 		return nil
 	}
-	if err := r.ledger.Import(blocks, r.verifyImportedBlock); err != nil {
+	verify := r.verifyImportedBlock
+	if pre {
+		verify = r.verifyImportedLayout
+	}
+	if err := r.ledger.Import(blocks, verify); err != nil {
 		return err
 	}
 	if notify {
@@ -226,6 +346,22 @@ func (r *Replica) applyImportedBlocks(blocks []*ledger.Block, notify bool) error
 // height) and the commit certificate against the origin cluster's membership
 // — the same Proposition 2.5 check applied to live GlobalShares.
 func (r *Replica) verifyImportedBlock(b *ledger.Block) error {
+	if err := r.verifyImportedLayout(b); err != nil {
+		return err
+	}
+	cert := b.Cert.(*pbft.Certificate) // layout check guaranteed the type
+	if !cert.Verify(r.env.Suite(), r.cfg.Topo.ClusterMembers(int(b.Cluster)), r.quorum()) {
+		return fmt.Errorf("geobft: certificate verification failed at height %d", b.Height)
+	}
+	return nil
+}
+
+// verifyImportedLayout checks everything about an imported block except the
+// certificate signatures: cluster range, height↔round↔cluster alignment, and
+// the certificate's binding to the block. It reads only construction-time
+// immutable state, so the verify pool calls it concurrently (PreVerify on
+// CatchUpResp), and the worker re-runs it alone for pool-verified ranges.
+func (r *Replica) verifyImportedLayout(b *ledger.Block) error {
 	z := uint64(r.cfg.Topo.Clusters)
 	c := int(b.Cluster)
 	if c < 0 || c >= int(z) {
@@ -247,36 +383,17 @@ func (r *Replica) verifyImportedBlock(b *ledger.Block) error {
 	if cert.Digest != b.BatchDigest {
 		return fmt.Errorf("geobft: certificate digest mismatch at height %d", b.Height)
 	}
-	if !cert.Verify(r.env.Suite(), r.cfg.Topo.ClusterMembers(c), r.quorum()) {
-		return fmt.Errorf("geobft: certificate verification failed at height %d", b.Height)
-	}
 	return nil
 }
 
 // localHistory folds the local PBFT history digest chain over this cluster's
 // blocks up to local sequence seq, matching what pbft.advanceCommitted would
-// have computed had the replica committed them live. The fold is cached and
-// extended incrementally: recovery imports a long chain in many chunks, and
-// restarting from sequence 1 each time would make it quadratic.
+// have computed had the replica committed them live (the fold is cached and
+// extended incrementally via clusterHistories: recovery imports a long chain
+// in many chunks, and restarting from sequence 1 each time would be
+// quadratic).
 func (r *Replica) localHistory(seq uint64) types.Digest {
-	if seq < r.histSeq {
-		// Should not happen (the fold position only advances); recompute
-		// from scratch rather than serve a stale digest.
-		r.histSeq, r.histDigest = 0, types.Digest{}
-	}
-	z := uint64(r.cfg.Topo.Clusters)
-	for s := r.histSeq + 1; s <= seq; s++ {
-		b := r.ledger.Block((s-1)*z + uint64(r.myCluster) + 1)
-		if b == nil {
-			return r.histDigest
-		}
-		enc := types.NewEncoder(72)
-		enc.Digest(r.histDigest)
-		enc.Digest(b.BatchDigest)
-		r.histDigest = types.Hash(enc.Bytes())
-		r.histSeq = s
-	}
-	return r.histDigest
+	return r.clusterHistories(seq)[r.myCluster]
 }
 
 // certAt returns the commit certificate for (round, cluster): from the

@@ -14,6 +14,7 @@ package core
 import (
 	"resilientdb/internal/ledger"
 	"resilientdb/internal/pbft"
+	"resilientdb/internal/snapshot"
 	"resilientdb/internal/types"
 )
 
@@ -95,6 +96,12 @@ type CatchUpResp struct {
 	// Height is the responder's chain height at reply time, so the requester
 	// knows whether further ranges remain.
 	Height uint64
+	// Base is the responder's ledger base: the height below which checkpoint
+	// GC has discarded its blocks. A requester whose whole chain sits at or
+	// below a peer's base cannot be served blocks at all — it must bootstrap
+	// from a verified state snapshot instead (snapshot-req/resp), and Base is
+	// how it learns that.
+	Base uint64
 }
 
 func (*CatchUpResp) MsgType() string { return "geobft/catchup-resp" }
@@ -110,6 +117,46 @@ func (c *CatchUpResp) WireSize() int {
 		}
 	}
 	return size
+}
+
+// SnapshotReq asks a peer for checkpoint-snapshot material: its manifest
+// (Chunk < 0) or one chunk of serialized state (Chunk ≥ 0). Round 0 selects
+// the peer's newest retained checkpoint. A joining replica first collects
+// manifests from several peers until f+1 distinct replicas endorse the same
+// content key, then fetches the state chunks — each content-addressed by the
+// manifest — spread across the endorsing peers.
+type SnapshotReq struct {
+	Round uint64
+	Chunk int32
+}
+
+func (*SnapshotReq) MsgType() string { return "geobft/snapshot-req" }
+
+// WireSize implements types.Message.
+func (*SnapshotReq) WireSize() int { return types.ControlBytes }
+
+// SnapshotResp carries one piece of a checkpoint snapshot: the manifest
+// (Chunk < 0, Manifest set, endorsed by the serving replica's own signature)
+// or one state chunk (Chunk ≥ 0, Data set). The receiver trusts nothing in
+// it: manifests pass snapshot.Manifest.Verify plus the f+1 matching-key
+// quorum, and every chunk is checked against the manifest's content address
+// before it is kept.
+type SnapshotResp struct {
+	Manifest *snapshot.Manifest
+	Round    uint64
+	Chunk    int32
+	Data     []byte
+}
+
+func (*SnapshotResp) MsgType() string { return "geobft/snapshot-resp" }
+
+// WireSize implements types.Message.
+func (s *SnapshotResp) WireSize() int {
+	n := types.HeaderBytes + len(s.Data)
+	if s.Manifest != nil {
+		n += s.Manifest.WireSize()
+	}
+	return n
 }
 
 // RvcPayload is the canonical signed content of an Rvc message. It is

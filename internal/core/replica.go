@@ -11,6 +11,7 @@ import (
 	"resilientdb/internal/pbft"
 	"resilientdb/internal/proto"
 	"resilientdb/internal/simnet"
+	"resilientdb/internal/snapshot"
 	"resilientdb/internal/types"
 )
 
@@ -45,6 +46,21 @@ type Config struct {
 	// OnExecute, if set, observes every executed batch in execution order
 	// (the fabric surfaces committed blocks to applications through it).
 	OnExecute func(round uint64, cluster types.ClusterID, batch types.Batch)
+	// SnapshotInterval is the checkpoint-snapshot interval in global rounds:
+	// every SnapshotInterval-th round the replica captures its executed
+	// kvstore state; the snapshot publishes (and history below it becomes
+	// garbage-collectable) once the round falls under a stable local PBFT
+	// checkpoint. 0 disables snapshots — history is retained forever, the
+	// pre-bounded-history behaviour.
+	SnapshotInterval uint64
+	// Archive, if set, persists published snapshots durably (one per replica
+	// data directory). Without it snapshots serve from memory only and do not
+	// survive a crash.
+	Archive *snapshot.Archive
+	// OnSnapshot, if set, observes every snapshot this replica publishes or
+	// installs — the fabric garbage-collects ledger disk segments below the
+	// snapshot height on this signal, never earlier.
+	OnSnapshot func(m *snapshot.Manifest)
 	// OnVerifyReject, if set, observes every inbound message the replica
 	// discards because a cryptographic check failed or the message is
 	// provably forged or mis-routed (bad certificate or Rvc signature,
@@ -127,10 +143,21 @@ type Replica struct {
 
 	// ledger catch-up (see catchup.go)
 	catchupTimer   proto.Timer
-	behindSeq      uint64 // highest local seq f+1 peers provably checkpointed
-	evidencedRound uint64 // highest round seen certified by any cluster
-	histSeq        uint64 // localHistory fold position (incremental cache)
-	histDigest     types.Digest
+	behindSeq      uint64             // highest local seq f+1 peers provably checkpointed
+	evidencedRound uint64             // highest round seen certified by any cluster
+	histRound      uint64             // clusterHistories fold position (incremental cache)
+	hist           []types.Digest     // per-cluster history digests through histRound
+	cuOrder        []types.NodeID     // rotating catch-up peer order (local first)
+	cuNext         int                // rotation cursor
+	cuFails        uint               // consecutive no-progress ticks (back-off exponent)
+	cuLastHeight   uint64             // height at the last tick (progress detection)
+	cuStash        map[uint64]cuRange // out-of-order verified ranges, by first height
+
+	// checkpoint snapshots & state transfer (see snapshot.go)
+	snapPending map[uint64]*pendingSnap // captured, awaiting checkpoint stability
+	snapLatest  *snapshot.Manifest      // the serving snapshot
+	snapState   []byte                  // its state bytes
+	sync        *snapSync               // in-flight snapshot bootstrap, nil when idle
 
 	// primary-side state
 	pending  []signedBatch // client batches awaiting admission to PBFT
@@ -158,6 +185,13 @@ type Replica struct {
 	execBatches   atomic.Uint64
 	execTxns      atomic.Uint64
 	catchupBlocks atomic.Uint64
+
+	// snapshot stats (atomic, same contract)
+	snapRound      atomic.Uint64
+	snapsWritten   atomic.Uint64
+	snapsServed    atomic.Uint64
+	snapsInstalled atomic.Uint64
+	snapsRejected  atomic.Uint64
 }
 
 // NewReplica constructs a GeoBFT replica. Call Init (or InitEnv) before use.
@@ -209,7 +243,8 @@ func (r *Replica) InitEnv(env proto.Env) {
 			}
 			r.scheduleCatchup()
 		},
-		Rejected: r.noteReject,
+		Rejected:     r.noteReject,
+		Checkpointed: r.onStableCheckpoint,
 	})
 }
 
@@ -257,7 +292,13 @@ func (r *Replica) receive(from types.NodeID, msg types.Message, pre bool) {
 		r.onCatchUpReq(from, m)
 	case *CatchUpResp:
 		r.env.Suite().ChargeVerifyMAC()
-		r.onCatchUpResp(from, m)
+		r.onCatchUpResp(from, m, pre)
+	case *SnapshotReq:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onSnapshotReq(from, m)
+	case *SnapshotResp:
+		r.env.Suite().ChargeVerifyMAC()
+		r.onSnapshotResp(from, m, pre)
 	default:
 		if pre {
 			r.local.HandleVerified(from, msg)
@@ -527,6 +568,7 @@ func (r *Replica) tryExecute() {
 				})
 			}
 		}
+		r.maybeCaptureSnapshot(next)
 		r.gcRemoteState(next)
 		r.feedPrimary()
 		r.rearmDetection()

@@ -61,6 +61,47 @@ func (r *Replica) PreVerify(suite *crypto.Suite, from types.NodeID, msg types.Me
 			return proto.VerdictReject
 		}
 		return proto.VerdictVerified
+	case *CatchUpResp:
+		// Recovery decode/verify runs on the pool, not the worker: every
+		// block's layout and commit certificate (n−f signatures against the
+		// origin cluster's membership) is checked here, so a recovering
+		// replica's worker only pays the cheap layout re-check per block.
+		for _, b := range m.Blocks {
+			if b == nil {
+				return proto.VerdictReject
+			}
+			if err := r.verifyImportedLayout(b); err != nil {
+				return proto.VerdictReject
+			}
+			cert := b.Cert.(*pbft.Certificate) // layout check guaranteed the type
+			if !cert.Verify(suite, r.cfg.Topo.ClusterMembers(int(b.Cluster)), r.quorum()) {
+				return proto.VerdictReject
+			}
+		}
+		return proto.VerdictVerified
+	case *SnapshotReq:
+		return proto.VerdictPass // MAC-authenticated only
+	case *SnapshotResp:
+		if m.Manifest != nil {
+			// Routing guard first (free): only self-endorsed manifests count
+			// toward the f+1 quorum, so a relayed one is discarded before the
+			// pool pays the certificate and signature checks.
+			if m.Manifest.Replica != from {
+				r.snapsRejected.Add(1) // atomic: safe from pool goroutines
+				return proto.VerdictReject
+			}
+			if err := m.Manifest.Verify(r.cfg.Topo, suite); err != nil {
+				// Counted into the snapshot-reject stream here (the worker
+				// never sees the message); the fabric adds the generic
+				// verify-reject on the verdict.
+				r.snapsRejected.Add(1)
+				return proto.VerdictReject
+			}
+			return proto.VerdictVerified
+		}
+		// State chunks are content-addressed against the accepted manifest —
+		// inherently stateful, checked on the worker.
+		return proto.VerdictPass
 	default:
 		return pbft.PreVerify(suite, from, msg)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"resilientdb/internal/ledger"
 	"resilientdb/internal/pbft"
+	"resilientdb/internal/snapshot"
 	"resilientdb/internal/types"
 )
 
@@ -150,6 +151,7 @@ func decodeCatchUpReq(dec *types.Decoder) types.Message {
 // EncodeBody implements types.WireMessage.
 func (c *CatchUpResp) EncodeBody(enc *types.Encoder) {
 	enc.U64(c.Height)
+	enc.U64(c.Base)
 	enc.U32(uint32(len(c.Blocks)))
 	for _, b := range c.Blocks {
 		encodeBlockBody(enc, b)
@@ -159,12 +161,45 @@ func (c *CatchUpResp) EncodeBody(enc *types.Encoder) {
 func decodeCatchUpResp(dec *types.Decoder) types.Message {
 	m := &CatchUpResp{}
 	m.Height = dec.U64()
+	m.Base = dec.U64()
 	if n := dec.Count(minBlockBytes); n > 0 {
 		m.Blocks = make([]*ledger.Block, 0, n)
 		for i := 0; i < n && dec.Err() == nil; i++ {
 			m.Blocks = append(m.Blocks, decodeBlockBody(dec))
 		}
 	}
+	return m
+}
+
+// EncodeBody implements types.WireMessage.
+func (s *SnapshotReq) EncodeBody(enc *types.Encoder) {
+	enc.U64(s.Round)
+	enc.I32(s.Chunk)
+}
+
+func decodeSnapshotReq(dec *types.Decoder) types.Message {
+	return &SnapshotReq{Round: dec.U64(), Chunk: dec.I32()}
+}
+
+// EncodeBody implements types.WireMessage.
+func (s *SnapshotResp) EncodeBody(enc *types.Encoder) {
+	enc.U64(s.Round)
+	enc.I32(s.Chunk)
+	enc.Bool(s.Manifest != nil)
+	if s.Manifest != nil {
+		s.Manifest.EncodeBody(enc)
+	}
+	enc.BytesN(s.Data)
+}
+
+func decodeSnapshotResp(dec *types.Decoder) types.Message {
+	m := &SnapshotResp{}
+	m.Round = dec.U64()
+	m.Chunk = dec.I32()
+	if dec.Bool() {
+		m.Manifest = snapshot.DecodeManifestBody(dec)
+	}
+	m.Data = dec.BytesN()
 	return m
 }
 
@@ -221,7 +256,21 @@ func init() {
 	types.RegisterMessage((*CatchUpResp)(nil).MsgType(), decodeCatchUpResp, func() []types.Message {
 		return []types.Message{
 			&CatchUpResp{},
-			&CatchUpResp{Blocks: sampleCatchUpBlocks(), Height: 8},
+			&CatchUpResp{Blocks: sampleCatchUpBlocks(), Height: 8, Base: 2},
+		}
+	})
+	types.RegisterMessage((*SnapshotReq)(nil).MsgType(), decodeSnapshotReq, func() []types.Message {
+		return []types.Message{
+			&SnapshotReq{},
+			&SnapshotReq{Round: 12, Chunk: -1},
+			&SnapshotReq{Round: 12, Chunk: 3},
+		}
+	})
+	types.RegisterMessage((*SnapshotResp)(nil).MsgType(), decodeSnapshotResp, func() []types.Message {
+		return []types.Message{
+			&SnapshotResp{},
+			&SnapshotResp{Manifest: snapshot.SampleManifest(), Round: 4, Chunk: -1},
+			&SnapshotResp{Round: 4, Chunk: 1, Data: []byte{0xca, 0xfe}},
 		}
 	})
 }

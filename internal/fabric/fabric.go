@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientdb/internal/config"
@@ -36,6 +37,7 @@ import (
 	"resilientdb/internal/metrics"
 	"resilientdb/internal/pbft"
 	"resilientdb/internal/proto"
+	"resilientdb/internal/snapshot"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -84,6 +86,19 @@ type Config struct {
 	// blocks on machine — not process — crash for much higher append
 	// throughput). 0 fsyncs on every commit. Ignored without DataDir.
 	DiskGroupCommit time.Duration
+	// SnapshotInterval enables checkpoint snapshots every N global rounds:
+	// each replica captures its executed state, publishes it once covered by
+	// a stable local PBFT checkpoint, garbage-collects ledger disk segments
+	// wholly below it (bounding storage), and serves it to fresh or
+	// far-behind peers, which bootstrap from a verified snapshot plus a
+	// short block suffix instead of replaying the whole chain. 0 disables
+	// snapshots: history is retained forever.
+	SnapshotInterval uint64
+	// RetainSegments is the minimum number of ledger disk segments kept
+	// through snapshot GC (the block suffix still served to catching-up
+	// peers from disk). 0 selects 2. Ignored without DataDir or
+	// SnapshotInterval.
+	RetainSegments int
 	// Clients is how many client identities the deployment provisions keys
 	// for (NewClient indices 0..Clients-1). 0 selects 64. Every process of a
 	// multi-process deployment must agree on it, like the topology.
@@ -146,6 +161,9 @@ func Open(cfg Config) (*Fabric, error) {
 	if cfg.Clients == 0 {
 		cfg.Clients = 64
 	}
+	if cfg.RetainSegments == 0 {
+		cfg.RetainSegments = 2
+	}
 	if cfg.VerifyWorkers == 0 {
 		if p := runtime.GOMAXPROCS(0); p > 1 {
 			cfg.VerifyWorkers = p
@@ -173,8 +191,15 @@ func Open(cfg Config) (*Fabric, error) {
 	// no node's first sends can race a sibling's transport registration.
 	boots := make(map[types.NodeID]func(r *core.Replica), len(local))
 	for _, id := range local {
-		n := newNode(f, id)
-		boot, err := f.attachDisk(n, false)
+		n, err := newNode(f, id)
+		if err != nil {
+			for _, created := range f.nodes {
+				created.stop()
+			}
+			tr.Close()
+			return nil, err
+		}
+		boot, err := f.attachDisk(n)
 		if err != nil {
 			n.stop()
 			for _, created := range f.nodes {
@@ -202,22 +227,20 @@ func (f *Fabric) nodeDir(id types.NodeID) string {
 // chain into the fresh state machine on its worker. wipe discards any
 // existing on-disk state first (an amnesia restart: the disk is gone).
 //
-// The boot closure re-verifies the recovered prefix through the ordinary
-// catch-up Import path (Bootstrap); a chain that fails re-verification is
-// dropped from disk too — it could never be served to a peer — and counted
-// as a verify rejection. The store attaches to the ledger only after the
-// bootstrap settles, truncated to exactly the accepted prefix, so disk and
-// chain stay in lockstep from the first live append.
-func (f *Fabric) attachDisk(n *Node, wipe bool) (func(r *core.Replica), error) {
+// The boot closure first installs the newest archived checkpoint snapshot,
+// if any — after a GC'd chain's crash the retained segments start above
+// genesis, so only the snapshot can seat the prefix — verified like a peer's
+// (a tampered archive is rejected and counted), then re-verifies the block
+// suffix through the ordinary catch-up Import path (Bootstrap); a chain that
+// fails re-verification is dropped from disk too — it could never be served
+// to a peer — and counted as a verify rejection. The store attaches to the
+// ledger only after the bootstrap settles, aligned to exactly the accepted
+// chain, so disk and chain stay in lockstep from the first live append.
+func (f *Fabric) attachDisk(n *Node) (func(r *core.Replica), error) {
 	if f.cfg.DataDir == "" {
 		return nil, nil
 	}
 	dir := f.nodeDir(n.id)
-	if wipe {
-		if err := os.RemoveAll(dir); err != nil {
-			return nil, fmt.Errorf("fabric: wiping %s: %w", dir, err)
-		}
-	}
 	st, blocks, err := disk.Open(dir, core.BlockCodec{}, disk.Options{
 		SegmentBytes: f.cfg.DiskSegmentBytes,
 		GroupCommit:  f.cfg.DiskGroupCommit,
@@ -227,6 +250,21 @@ func (f *Fabric) attachDisk(n *Node, wipe bool) (func(r *core.Replica), error) {
 	}
 	n.store = st
 	return func(r *core.Replica) {
+		if n.archive != nil {
+			if m, err := r.InstallArchivedSnapshot(n.archive); err != nil {
+				// Tampered or corrupt archived snapshot: rejected like a
+				// forged peer snapshot. If the segments were GC'd against it
+				// they cannot seat either; the truncate below wipes them and
+				// the node recovers over the network (snapshot sync included).
+				n.drops.VerifyReject.Add(1)
+			} else if m != nil {
+				// The snapshot seats the prefix; only the suffix above its
+				// anchor replays from the segments.
+				for len(blocks) > 0 && blocks[0] != nil && blocks[0].Height <= m.Height {
+					blocks = blocks[1:]
+				}
+			}
+		}
 		if err := r.Bootstrap(blocks); err != nil {
 			// The persisted chain did not re-verify: surface it instead of
 			// failing silently, drop it, and recover over the network.
@@ -234,11 +272,21 @@ func (f *Fabric) attachDisk(n *Node, wipe bool) (func(r *core.Replica), error) {
 		}
 		if h := r.Ledger().Height(); h < st.Height() {
 			// Bootstrap accepted less than the store holds (round-boundary
-			// trim, or the rejection above): cut the store back so the next
-			// persisted block lands at the chain's true next height.
+			// trim, or a rejection above): cut the store back so the next
+			// persisted block lands at the chain's true next height. A chain
+			// rejected wholesale — including GC'd segments orphaned by an
+			// unusable snapshot — truncates to zero, wiping the store.
 			if err := st.Truncate(h); err != nil {
 				// The node runs memory-only; StoreErr reports the gap
 				// (the store itself closes with the node on stop).
+				r.Ledger().NoteStoreFailure(err)
+				return
+			}
+		} else if h > st.Height() {
+			// The store lags the accepted chain (an archived snapshot ahead
+			// of surviving segments): re-base it at the chain head; appends
+			// continue from there and catch-up persists only new blocks.
+			if err := st.Reanchor(h); err != nil {
 				r.Ledger().NoteStoreFailure(err)
 				return
 			}
@@ -359,6 +407,14 @@ func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 	if keepLedger && f.cfg.DataDir == "" {
 		blocks = old.replica.Ledger().Export(1, 0)
 	}
+	// An amnesia restart loses the disk — segments, base marker and snapshot
+	// archive alike — before the successor opens any of them.
+	var wipeErr error
+	if f.cfg.DataDir != "" && !keepLedger {
+		if err := os.RemoveAll(f.nodeDir(id)); err != nil {
+			wipeErr = fmt.Errorf("fabric: wiping %s: %w", f.nodeDir(id), err)
+		}
+	}
 
 	f.mu.Lock()
 	if f.stopped {
@@ -369,14 +425,23 @@ func (f *Fabric) StartNode(id types.NodeID, keepLedger bool) error {
 		f.mu.Unlock()
 		return fmt.Errorf("fabric: node %v was restarted concurrently", id)
 	}
-	n := newNode(f, id) // re-registers id on the transport, under f.mu
+	n, err := newNode(f, id) // re-registers id on the transport, under f.mu
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
 	f.nodes[id] = n
 	f.mu.Unlock()
 
 	var boot func(r *core.Replica)
-	if f.cfg.DataDir != "" {
+	if wipeErr != nil {
+		// The old disk state would not die: running the successor against it
+		// would resurrect a chain an amnesia restart must not have. Run
+		// disk-less; StoreErr reports the durability gap.
+		boot = func(r *core.Replica) { r.Ledger().NoteStoreFailure(wipeErr) }
+	} else if f.cfg.DataDir != "" {
 		var err error
-		if boot, err = f.attachDisk(n, !keepLedger); err != nil {
+		if boot, err = f.attachDisk(n); err != nil {
 			// Run disk-less rather than leave the id dead: the node is
 			// already registered, and a refusal here would strand it. The
 			// durability gap stays observable through Ledger.StoreErr.
@@ -409,6 +474,7 @@ func (f *Fabric) Stats() metrics.DropStats {
 	for _, n := range f.nodes {
 		st.Add(n.drops.Snapshot())
 		st.Mempool.Add(n.pool.Stats())
+		st.Snapshots.Add(n.SnapshotStats())
 	}
 	return st
 }
@@ -436,6 +502,14 @@ type Node struct {
 	// The node owns it: opened before start, closed after the pipeline
 	// drains in stop, so no append can race the close.
 	store *disk.Store
+	// archive is the node's durable snapshot store (nil unless both
+	// Config.DataDir and Config.SnapshotInterval are set).
+	archive *snapshot.Archive
+
+	// snapshot/GC accounting (atomic: Stats reads them while the node runs)
+	segsReclaimed  atomic.Uint64 // disk segments GC'd below checkpoints
+	bytesReclaimed atomic.Uint64 // their total size
+	snapRejects    atomic.Uint64 // SnapshotResps rejected by the verify pool
 
 	// detached marks the node unregistered from the transport (guarded by
 	// the owning Fabric's mu; see StopNode/StartNode).
@@ -469,15 +543,27 @@ var verifyJobPool = sync.Pool{
 	New: func() any { return &verifyJob{done: make(chan struct{}, 1)} },
 }
 
-func newNode(f *Fabric, id types.NodeID) *Node {
+// archiveRetain is how many checkpoint snapshots each node's archive keeps.
+const archiveRetain = 2
+
+func newNode(f *Fabric, id types.NodeID) (*Node, error) {
+	var arch *snapshot.Archive
+	if f.cfg.DataDir != "" && f.cfg.SnapshotInterval > 0 {
+		var err error
+		arch, err = snapshot.OpenArchive(filepath.Join(f.nodeDir(id), "snapshots"), archiveRetain)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: node %v snapshot archive: %w", id, err)
+		}
+	}
 	n := &Node{
-		fab:    f,
-		id:     id,
-		inbox:  f.tr.Register(id),
-		workQ:  make(chan func(), 8192),
-		outQ:   make(chan transport.Envelope, 8192),
-		batchQ: make(chan types.Transaction, 65536),
-		quit:   make(chan struct{}),
+		fab:     f,
+		id:      id,
+		inbox:   f.tr.Register(id),
+		workQ:   make(chan func(), 8192),
+		outQ:    make(chan transport.Envelope, 8192),
+		batchQ:  make(chan types.Transaction, 65536),
+		archive: arch,
+		quit:    make(chan struct{}),
 	}
 	if f.cfg.VerifyWorkers > 0 {
 		n.verifyQ = make(chan *verifyJob, 4096)
@@ -499,7 +585,25 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 		// Forged messages rejected inline on the worker (the serial path, or
 		// checks the verify pool cannot run statelessly) land in the same
 		// counter as pool rejections: nothing vanishes uncounted.
-		OnVerifyReject: func() { n.drops.VerifyReject.Add(1) },
+		OnVerifyReject:   func() { n.drops.VerifyReject.Add(1) },
+		SnapshotInterval: f.cfg.SnapshotInterval,
+		Archive:          arch,
+		// A published (durably archived) snapshot is the license to discard
+		// history: reclaim every disk segment wholly below it, always keeping
+		// RetainSegments so slightly-lagging peers still catch up from disk.
+		OnSnapshot: func(m *snapshot.Manifest) {
+			if n.store == nil {
+				return
+			}
+			segs, bytes, err := n.store.ReclaimBelow(m.Height, f.cfg.RetainSegments)
+			if err != nil {
+				// GC failure never loses data — the segments just survive;
+				// the DiskBytes gauge surfaces unbounded growth.
+				return
+			}
+			n.segsReclaimed.Add(uint64(segs))
+			n.bytesReclaimed.Add(uint64(bytes))
+		},
 	}
 	// Every execution feeds the mempool's replay window, so a retry of an
 	// already-executed request is answered from the ledger instead of
@@ -514,7 +618,7 @@ func newNode(f *Fabric, id types.NodeID) *Node {
 		}
 	}
 	n.replica = core.NewReplica(ccfg)
-	return n
+	return n, nil
 }
 
 // start launches the node's pipeline. boot, if non-nil, runs on the worker
@@ -714,6 +818,12 @@ func (n *Node) startVerifyPipeline() {
 				switch verdict {
 				case proto.VerdictReject:
 					n.drops.VerifyReject.Add(1)
+					if _, isSnap := msg.(*core.SnapshotResp); isSnap {
+						// Tampered snapshot material the pool rejected never
+						// reaches the replica's own counter; account it here
+						// so Stats.Snapshots.Rejected sees every rejection.
+						n.snapRejects.Add(1)
+					}
 				case proto.VerdictVerified:
 					// Authenticated client requests pass the admission layer
 					// before reaching the worker; running it here, on the
@@ -815,6 +925,29 @@ func (n *Node) MempoolLen() int { return n.pool.Len() }
 
 // MempoolStats returns a snapshot of the node's admission counters.
 func (n *Node) MempoolStats() metrics.MempoolStats { return n.pool.Stats() }
+
+// SnapshotStats returns the node's checkpoint/GC counters: replica-level
+// snapshot activity, pool-level rejections of tampered snapshot material,
+// segment GC totals, the store's current on-disk size, and whether the
+// ledger has detached from its store after a persistence failure. Safe to
+// call while the node is running.
+func (n *Node) SnapshotStats() metrics.SnapshotStats {
+	s := metrics.SnapshotStats{
+		Written:           n.replica.SnapshotsWritten(),
+		Served:            n.replica.SnapshotsServed(),
+		Installed:         n.replica.SnapshotsInstalled(),
+		Rejected:          n.replica.SnapshotsRejected() + n.snapRejects.Load(),
+		SegmentsReclaimed: n.segsReclaimed.Load(),
+		BytesReclaimed:    n.bytesReclaimed.Load(),
+	}
+	if n.store != nil {
+		s.DiskBytes = uint64(n.store.Bytes())
+	}
+	if n.replica.Ledger().StoreErr() != nil {
+		s.StoreErrs = 1
+	}
+	return s
+}
 
 // shareCache is a bounded set of verified certificate-share keys shared by
 // the verify pool's goroutines. Two generations rotate out old entries so

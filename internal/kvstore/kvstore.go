@@ -7,7 +7,9 @@
 package kvstore
 
 import (
+	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"resilientdb/internal/types"
 )
@@ -78,6 +80,63 @@ func (s *Store) Digest() types.Digest {
 
 // Len returns the number of rows in the table.
 func (s *Store) Len() int { return len(s.vals) }
+
+// Serialize returns the canonical byte encoding of the full store state:
+// the applied count, the running digest, and every row in ascending key
+// order, all big-endian and fixed-width. Two stores with identical state
+// serialize to identical bytes, so the hash of this encoding is the state
+// hash that checkpoint snapshots are content-addressed by.
+func (s *Store) Serialize() []byte {
+	keys := make([]uint64, 0, len(s.vals))
+	for k := range s.vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]byte, 0, 24+16*len(keys))
+	var buf [8]byte
+	put64(buf[:], s.applied)
+	out = append(out, buf[:]...)
+	put64(buf[:], s.digest)
+	out = append(out, buf[:]...)
+	put64(buf[:], uint64(len(keys)))
+	out = append(out, buf[:]...)
+	for _, k := range keys {
+		put64(buf[:], k)
+		out = append(out, buf[:]...)
+		put64(buf[:], s.vals[k])
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// Restore replaces the store's entire state with the one in data, previously
+// produced by Serialize. Malformed input (truncated, wrong row count,
+// trailing bytes) is rejected without touching the store.
+func (s *Store) Restore(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("kvstore: snapshot too short: %d bytes", len(data))
+	}
+	applied := get64(data[0:8])
+	digest := get64(data[8:16])
+	rows := get64(data[16:24])
+	if rows > uint64(len(data)-24)/16 || len(data) != 24+16*int(rows) {
+		return fmt.Errorf("kvstore: snapshot row count %d disagrees with %d payload bytes", rows, len(data))
+	}
+	vals := make(map[uint64]uint64, rows)
+	for i := 0; i < int(rows); i++ {
+		off := 24 + 16*i
+		vals[get64(data[off:off+8])] = get64(data[off+8 : off+16])
+	}
+	s.vals, s.applied, s.digest = vals, applied, digest
+	return nil
+}
+
+func get64(src []byte) uint64 {
+	_ = src[7]
+	return uint64(src[0])<<56 | uint64(src[1])<<48 | uint64(src[2])<<40 |
+		uint64(src[3])<<32 | uint64(src[4])<<24 | uint64(src[5])<<16 |
+		uint64(src[6])<<8 | uint64(src[7])
+}
 
 func put64(dst []byte, v uint64) {
 	_ = dst[7]

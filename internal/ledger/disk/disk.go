@@ -137,13 +137,19 @@ type Store struct {
 	codec BlockCodec
 	opts  Options
 
-	mu        sync.Mutex
-	lock      *os.File // held flock on dir/LOCK (nil on non-unix platforms)
-	cur       *os.File // last segment, open for append (nil: empty store)
-	curSeg    int      // its index; 0 when the store holds no segments
-	curSize   int64
-	segs      []int // sorted indices of existing segment files
-	index     []recordLoc
+	mu      sync.Mutex
+	lock    *os.File // held flock on dir/LOCK (nil on non-unix platforms)
+	cur     *os.File // last segment, open for append (nil: empty store)
+	curSeg  int      // its index; 0 when the store holds no segments
+	curSize int64
+	segs    []int // sorted indices of existing segment files
+	index   []recordLoc
+	// base is the height of the last block below the stored suffix: the
+	// store holds heights base+1 … base+len(index). A store created before
+	// any checkpoint has base 0; checkpoint GC (ReclaimBelow) advances it a
+	// whole segment at a time, and a store created by snapshot-based state
+	// transfer adopts its base from the first appended block.
+	base      uint64
 	dirty     bool
 	closed    bool
 	err       error // sticky write failure; the store refuses further writes
@@ -157,7 +163,8 @@ type Store struct {
 // torn tail, and returns the recovered blocks in height order. The caller
 // owns re-verifying the blocks (certificates, hash chain) before trusting
 // them; Open guarantees only structural integrity — contiguous heights from
-// 1, CRC-clean records, every block carrying a certificate.
+// the store's Base()+1 (1 for a store never GC'd), CRC-clean records, every
+// block carrying a certificate.
 func Open(dir string, codec BlockCodec, opts Options) (*Store, []*ledger.Block, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
@@ -221,6 +228,63 @@ func (s *Store) segPath(idx int) string {
 // lockPath is the advisory lock file guarding a store directory.
 func lockPath(dir string) string { return filepath.Join(dir, "LOCK") }
 
+// basePath is the checkpoint-GC marker: 8 big-endian bytes naming the store's
+// base height. Its absence means base 0 (full history). It exists so a GC'd
+// store — whose first segment legitimately starts above height 1 — stays
+// distinguishable from a store that lost a segment, which must fail Open.
+func basePath(dir string) string { return filepath.Join(dir, "BASE") }
+
+// readBaseMarker returns the recorded base, or 0 when absent or unreadable
+// (an unreadable marker degrades to the strictest interpretation: the store
+// must then start at height 1 or fail as corrupt).
+func readBaseMarker(dir string) uint64 {
+	data, err := os.ReadFile(basePath(dir))
+	if err != nil || len(data) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(data)
+}
+
+// writeBaseMarkerLocked durably records base (removing the marker for base
+// 0). The marker is written before segments are reclaimed, so a crash
+// mid-GC leaves stale sub-base segments that recovery deletes — never a
+// marker claiming less than what was already removed.
+func (s *Store) writeBaseMarkerLocked(base uint64) error {
+	if base == 0 {
+		if err := os.Remove(basePath(s.dir)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "BASE.tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], base)
+	if _, err := tmp.Write(buf[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), basePath(s.dir)); err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		return s.syncDir()
+	}
+	return nil
+}
+
 // recover scans the segments in order, building the in-memory index and
 // decoding every block. A structural failure in the last segment is a torn
 // tail and is truncated away; the same failure in a sealed segment aborts
@@ -231,8 +295,12 @@ func (s *Store) recover() ([]*ledger.Block, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The BASE marker names the height GC reclaimed through: the first kept
+	// segment must start exactly at base+1 (1 when no marker), so a missing
+	// or reordered segment still fails loudly while a GC'd store opens clean.
+	s.base = readBaseMarker(s.dir)
 	var blocks []*ledger.Block
-	next := uint64(1)
+	next := s.base + 1
 scan:
 	for k := 0; k < len(segs); k++ {
 		idx, last := segs[k], k == len(segs)-1
@@ -252,9 +320,26 @@ scan:
 					ErrCorrupt, idx, v, formatVer)
 			}
 		}
-		if len(data) < headerLen || [4]byte(data[:4]) != segMagic ||
-			binary.BigEndian.Uint32(data[4:8]) != formatVer ||
-			binary.BigEndian.Uint64(data[8:16]) != next {
+		headerOK := len(data) >= headerLen && [4]byte(data[:4]) == segMagic &&
+			binary.BigEndian.Uint32(data[4:8]) == formatVer
+		var first uint64
+		if headerOK {
+			first = binary.BigEndian.Uint64(data[8:16])
+		}
+		if headerOK && first >= 1 && first <= s.base && len(blocks) == 0 {
+			// A whole segment below the marker is an interrupted GC: the
+			// marker was durably advanced but the crash hit before this file
+			// was removed. Finish the job. (GC reclaims whole segments, so a
+			// sub-base segment can never carry blocks above the base.)
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("disk: %w", err)
+			}
+			s.recovered.RemovedSegments++
+			segs = append(segs[:k:k], segs[k+1:]...)
+			k--
+			continue
+		}
+		if !headerOK || first != next {
 			// Only shapes a crash can produce are repaired by dropping the
 			// file: a short or garbled header (the segment was created but
 			// its header write tore), or a record-less segment whose header
@@ -262,9 +347,7 @@ scan:
 			// valid header carrying the wrong first height over real records
 			// means a missing or reordered segment — destroying CRC-valid
 			// blocks to "repair" that would be data loss, so it fails.
-			tornHeader := len(data) < headerLen || [4]byte(data[:4]) != segMagic ||
-				binary.BigEndian.Uint32(data[4:8]) != formatVer
-			if !last || (!tornHeader && len(data) > headerLen) {
+			if !last || (headerOK && len(data) > headerLen) {
 				return nil, fmt.Errorf("%w: segment %d has a bad header", ErrCorrupt, idx)
 			}
 			if err := os.Remove(path); err != nil {
@@ -374,8 +457,9 @@ func (s *Store) appendLocked(b *ledger.Block) error {
 		return s.err
 	case b == nil || b.Cert == nil:
 		return fmt.Errorf("disk: block carries no certificate")
-	case b.Height != uint64(len(s.index))+1:
-		return fmt.Errorf("disk: append height %d, store is at %d", b.Height, len(s.index))
+	}
+	if b.Height != s.base+uint64(len(s.index))+1 {
+		return fmt.Errorf("disk: append height %d, store is at %d", b.Height, s.base+uint64(len(s.index)))
 	}
 
 	payload := types.GetEncoder()
@@ -527,7 +611,7 @@ func (s *Store) Truncate(height uint64) error {
 	if s.err != nil {
 		return s.err
 	}
-	if height >= uint64(len(s.index)) {
+	if height >= s.base+uint64(len(s.index)) {
 		return nil
 	}
 	if s.cur != nil {
@@ -536,22 +620,19 @@ func (s *Store) Truncate(height uint64) error {
 		}
 		s.cur = nil
 	}
-	if height == 0 {
-		for _, idx := range s.segs {
-			if err := os.Remove(s.segPath(idx)); err != nil {
-				return s.fail(err)
+	if height <= s.base {
+		// Cutting into (or below) the GC'd prefix leaves nothing servable:
+		// wipe the segments whole. Truncating to exactly the base keeps the
+		// marker (the store stays anchored and the next append is base+1);
+		// cutting below it resets the store to a fresh, unanchored one.
+		return s.wipeSegmentsLocked(func() uint64 {
+			if height < s.base {
+				return 0
 			}
-		}
-		s.segs, s.index = nil, nil
-		s.curSeg, s.curSize = 0, 0
-		if !s.opts.NoSync {
-			if err := s.syncDir(); err != nil {
-				return s.fail(err)
-			}
-		}
-		return nil
+			return s.base
+		}())
 	}
-	cut := s.index[height] // the record for block height+1
+	cut := s.index[height-s.base] // the record for block height+1
 	keep := s.segs[:0]
 	for _, idx := range s.segs {
 		if idx <= cut.seg {
@@ -575,7 +656,7 @@ func (s *Store) Truncate(height uint64) error {
 		return s.fail(err)
 	}
 	s.cur, s.curSeg, s.curSize = f, cut.seg, cut.off
-	s.index = s.index[:height]
+	s.index = s.index[:height-s.base]
 	if !s.opts.NoSync {
 		if err := s.cur.Sync(); err != nil {
 			return s.fail(err)
@@ -593,10 +674,11 @@ func (s *Store) Truncate(height uint64) error {
 func (s *Store) Block(height uint64) (*ledger.Block, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if height < 1 || height > uint64(len(s.index)) {
-		return nil, fmt.Errorf("disk: no block at height %d (store holds %d)", height, len(s.index))
+	if height <= s.base || height > s.base+uint64(len(s.index)) {
+		return nil, fmt.Errorf("disk: no block at height %d (store holds %d…%d)",
+			height, s.base+1, s.base+uint64(len(s.index)))
 	}
-	loc := s.index[height-1]
+	loc := s.index[height-s.base-1]
 	f, err := os.Open(s.segPath(loc.seg))
 	if err != nil {
 		return nil, fmt.Errorf("disk: %w", err)
@@ -613,11 +695,92 @@ func (s *Store) Block(height uint64) (*ledger.Block, error) {
 	return b, nil
 }
 
-// Height returns the number of blocks the store holds.
+// Height returns the height of the store's last block (the full logical
+// chain height, including the GC'd prefix below Base).
 func (s *Store) Height() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return uint64(len(s.index))
+	return s.base + uint64(len(s.index))
+}
+
+// Base returns the height of the last block below the stored suffix: 0 for a
+// full-history store, the last reclaimed height after checkpoint GC.
+func (s *Store) Base() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// SetBase anchors an empty store at base: the next append must carry height
+// base+1. This is the snapshot-bootstrap entry point — a node that installed
+// a verified checkpoint persists only the suffix above it, so its first
+// durable block sits far from height 1. The marker is written first, so a
+// reopened store demands exactly this start. Stores that already hold blocks
+// refuse, keeping append's contiguity check authoritative everywhere else.
+func (s *Store) SetBase(base uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.index) != 0 || len(s.segs) != 0 {
+		return fmt.Errorf("disk: cannot set base %d on a store holding blocks", base)
+	}
+	if base == s.base {
+		return nil
+	}
+	if err := s.writeBaseMarkerLocked(base); err != nil {
+		return s.fail(err)
+	}
+	s.base = base
+	return nil
+}
+
+// Reanchor implements ledger.AnchorStore: it discards every persisted block
+// and re-bases the store at base, so the next append must carry base+1. A
+// node installing a verified checkpoint snapshot over a stale chain uses it —
+// every discarded block is covered by the snapshot's state.
+func (s *Store) Reanchor(base uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.cur != nil {
+		if err := s.cur.Close(); err != nil {
+			return s.fail(err)
+		}
+		s.cur = nil
+	}
+	return s.wipeSegmentsLocked(base)
+}
+
+// wipeSegmentsLocked removes every segment file and re-bases the empty store
+// at base (durably, via the marker). Called with mu held and s.cur closed.
+func (s *Store) wipeSegmentsLocked(base uint64) error {
+	for _, idx := range s.segs {
+		if err := os.Remove(s.segPath(idx)); err != nil {
+			return s.fail(err)
+		}
+	}
+	s.segs, s.index = nil, nil
+	s.curSeg, s.curSize = 0, 0
+	if err := s.writeBaseMarkerLocked(base); err != nil {
+		return s.fail(err)
+	}
+	s.base = base
+	if !s.opts.NoSync {
+		if err := s.syncDir(); err != nil {
+			return s.fail(err)
+		}
+	}
+	return nil
 }
 
 // Segments returns how many segment files the store currently spans.
@@ -625,6 +788,85 @@ func (s *Store) Segments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.segs)
+}
+
+// Bytes returns the total on-disk size of the store's segment files — the
+// quantity checkpoint GC exists to bound.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, idx := range s.segs {
+		if fi, err := os.Stat(s.segPath(idx)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// ReclaimBelow is checkpoint garbage collection: it removes leading segments
+// every one of whose blocks sits at or below height — blocks now covered by a
+// durable state snapshot — and advances the store's base past them, always
+// leaving at least keep segments (minimum 1: the open segment is never
+// removed, so an append never races a reclaim of its own file). Reclaim is
+// whole-segment, so the retained suffix always starts exactly where a
+// surviving segment header says it does and reopening after GC serves only
+// the suffix. It returns the number of segments and bytes reclaimed.
+func (s *Store) ReclaimBelow(height uint64, keep int) (int, int64, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("disk: store is closed")
+	}
+	if s.err != nil {
+		return 0, 0, s.err
+	}
+	// Plan: leading whole segments whose last block is ≤ height, never the
+	// open segment, never below the retention floor.
+	nseg, drop := 0, uint64(0)
+	for len(s.segs)-nseg > keep {
+		segIdx := s.segs[nseg]
+		cnt := uint64(0)
+		for int(drop+cnt) < len(s.index) && s.index[drop+cnt].seg == segIdx {
+			cnt++
+		}
+		if cnt == 0 || s.base+drop+cnt > height {
+			break // segment reaches above the checkpoint: keep it whole
+		}
+		nseg++
+		drop += cnt
+	}
+	if nseg == 0 {
+		return 0, 0, nil
+	}
+	// Durably advance the base marker first: a crash after the marker but
+	// before (or during) the removals leaves whole sub-base segments, which
+	// recovery recognizes as an interrupted GC and finishes deleting.
+	if err := s.writeBaseMarkerLocked(s.base + drop); err != nil {
+		return 0, 0, s.fail(err)
+	}
+	var bytes int64
+	for i := 0; i < nseg; i++ {
+		path := s.segPath(s.segs[i])
+		if fi, err := os.Stat(path); err == nil {
+			bytes += fi.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			return i, bytes, s.fail(err)
+		}
+	}
+	s.base += drop
+	s.index = s.index[drop:]
+	s.segs = s.segs[nseg:]
+	if !s.opts.NoSync {
+		if err := s.syncDir(); err != nil {
+			return nseg, bytes, s.fail(err)
+		}
+	}
+	return nseg, bytes, nil
 }
 
 // Dir returns the store's directory.

@@ -1,0 +1,319 @@
+package disk_test
+
+// Checkpoint-GC coverage: ReclaimBelow's whole-segment semantics, its
+// interaction with concurrent readers and torn-tail recovery, the shape a
+// crash mid-GC leaves, and the bound it exists to enforce — a store that is
+// GC'd against a moving checkpoint never holds more than the retention
+// budget of segments.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"resilientdb/internal/ledger/disk"
+)
+
+// TestReclaimBelow pins the basic contract: only leading whole segments at
+// or below the checkpoint go, the base advances durably to a segment
+// boundary, reads below the base fail cleanly, and a second call with the
+// same checkpoint is a no-op.
+func TestReclaimBelow(t *testing.T) {
+	opts := disk.Options{SegmentBytes: 512, NoSync: true}
+	st, _ := mustOpen(t, t.TempDir(), opts)
+	defer st.Close()
+	src := makeBlocks(40)
+	appendAll(t, st, src)
+	segsBefore, bytesBefore := st.Segments(), st.Bytes()
+	if segsBefore < 4 {
+		t.Fatalf("40 blocks in %d segment(s); the test needs several to reclaim", segsBefore)
+	}
+
+	nseg, nbytes, err := st.ReclaimBelow(30, 2)
+	if err != nil {
+		t.Fatalf("reclaim: %v", err)
+	}
+	if nseg == 0 || nbytes == 0 {
+		t.Fatalf("reclaimed %d segments (%d bytes); want some below checkpoint 30", nseg, nbytes)
+	}
+	if got := st.Segments(); got != segsBefore-nseg {
+		t.Fatalf("Segments() = %d after reclaiming %d of %d", got, nseg, segsBefore)
+	}
+	if got := st.Bytes(); got != bytesBefore-nbytes {
+		t.Fatalf("Bytes() = %d, want %d − %d", got, bytesBefore, nbytes)
+	}
+	base := st.Base()
+	if base == 0 || base > 30 {
+		t.Fatalf("Base() = %d, want within (0, 30]", base)
+	}
+	if h := st.Height(); h != 40 {
+		t.Fatalf("Height() = %d after GC, want the full logical height 40", h)
+	}
+	// The boundary is exact: base is unreadable, base+1 is the first block.
+	if _, err := st.Block(base); err == nil {
+		t.Fatalf("Block(%d) served a reclaimed height", base)
+	}
+	for h := base + 1; h <= 40; h++ {
+		b, err := st.Block(h)
+		if err != nil || b.Height != h || b.BatchDigest != src[h-1].BatchDigest {
+			t.Fatalf("Block(%d) after GC = %+v, %v", h, b, err)
+		}
+	}
+	// Same checkpoint again: nothing left to do.
+	if n, _, err := st.ReclaimBelow(30, 2); err != nil || n != 0 {
+		t.Fatalf("second reclaim = %d, %v; want a no-op", n, err)
+	}
+	// keep is a floor, and the open segment is never reclaimed: a checkpoint
+	// at the very tip still leaves keep segments behind.
+	if _, _, err := st.ReclaimBelow(40, 1); err != nil {
+		t.Fatalf("reclaim to tip: %v", err)
+	}
+	if got := st.Segments(); got < 1 {
+		t.Fatalf("Segments() = %d after reclaiming to the tip; the open segment must survive", got)
+	}
+}
+
+// TestReclaimRacesReader hammers Block() from several goroutines while the
+// writer interleaves appends with checkpoint GC — the catch-up server
+// streaming a suffix to a lagging peer while the checkpointer reclaims
+// behind it. Every read must either return the correct block or the clean
+// out-of-range error; a torn read or ErrCorrupt means reclaim yanked a
+// segment out from under a reader.
+func TestReclaimRacesReader(t *testing.T) {
+	opts := disk.Options{SegmentBytes: 512, NoSync: true}
+	st, _ := mustOpen(t, t.TempDir(), opts)
+	defer st.Close()
+	src := makeBlocks(120)
+	appendAll(t, st, src[:20])
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := uint64(1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, err := st.Block(h)
+				switch {
+				case err == nil:
+					if b.Height != h || b.BatchDigest != src[h-1].BatchDigest {
+						errc <- fmt.Errorf("Block(%d) returned the wrong block: %+v", h, b)
+						return
+					}
+				case errors.Is(err, disk.ErrCorrupt):
+					errc <- fmt.Errorf("Block(%d) racing GC: %v", h, err)
+					return
+				}
+				h = h%120 + 1
+			}
+		}()
+	}
+	for i := 20; i < 120; i++ {
+		if err := st.Append(src[i]); err != nil {
+			t.Fatalf("append height %d: %v", src[i].Height, err)
+		}
+		if i%10 == 0 {
+			if _, _, err := st.ReclaimBelow(uint64(i)-5, 2); err != nil {
+				t.Fatalf("reclaim below %d: %v", i-5, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestReclaimAfterTornTail runs checkpoint GC on a store that just repaired
+// a torn tail: the recovered suffix must still reclaim cleanly, serve the
+// retained heights, and accept appends where recovery left off.
+func TestReclaimAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := disk.Options{SegmentBytes: 600, NoSync: true}
+	src := makeBlocks(24)
+	st, _ := mustOpen(t, dir, opts)
+	appendAll(t, st, src)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest segment mid-record, as a power cut mid-write would.
+	lastPath := lastSegment(t, dir)
+	fi, err := os.Stat(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(lastPath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, got := mustOpen(t, dir, opts)
+	defer st2.Close()
+	if st2.Recovered().TruncatedBytes == 0 {
+		t.Fatal("reopen did not report the torn tail")
+	}
+	rec := uint64(len(got))
+	if rec == 0 || rec >= 24 {
+		t.Fatalf("recovered %d blocks, want a proper prefix of 24", rec)
+	}
+	if n, _, err := st2.ReclaimBelow(rec, 1); err != nil || n == 0 {
+		t.Fatalf("reclaim after torn-tail recovery = %d, %v; want progress", n, err)
+	}
+	base := st2.Base()
+	for h := base + 1; h <= rec; h++ {
+		if b, err := st2.Block(h); err != nil || b.BatchDigest != src[h-1].BatchDigest {
+			t.Fatalf("Block(%d) after tear+GC = %+v, %v", h, b, err)
+		}
+	}
+	// The store keeps appending exactly where the tear left it.
+	if err := st2.Append(src[rec]); err != nil {
+		t.Fatalf("append after tear+GC: %v", err)
+	}
+}
+
+// TestReopenAfterGC closes a GC'd store and reopens it: recovery must serve
+// exactly the retained suffix — anchored at the durable base, verifying
+// block for block against the original chain — and keep appending past it.
+func TestReopenAfterGC(t *testing.T) {
+	dir := t.TempDir()
+	opts := disk.Options{SegmentBytes: 512, NoSync: true}
+	src := makeBlocks(42)
+	st, _ := mustOpen(t, dir, opts)
+	appendAll(t, st, src[:40])
+	if _, _, err := st.ReclaimBelow(28, 2); err != nil {
+		t.Fatalf("reclaim: %v", err)
+	}
+	base := st.Base()
+	if base == 0 {
+		t.Fatal("reclaim made no progress; widen the test chain")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, got := mustOpen(t, dir, opts)
+	defer st2.Close()
+	if b := st2.Base(); b != base {
+		t.Fatalf("reopened Base() = %d, want the durable %d", b, base)
+	}
+	if want := 40 - base; uint64(len(got)) != want {
+		t.Fatalf("recovered %d blocks, want the %d-block suffix", len(got), want)
+	}
+	for i, b := range got {
+		h := base + uint64(i) + 1
+		if b.Height != h || b.BatchDigest != src[h-1].BatchDigest {
+			t.Fatalf("recovered block %d = height %d, digest mismatch %v", i, b.Height,
+				b.BatchDigest != src[h-1].BatchDigest)
+		}
+	}
+	if s := st2.Recovered(); s.TruncatedBytes != 0 || s.RemovedSegments != 0 {
+		t.Fatalf("clean reopen of a GC'd store reported repairs: %+v", s)
+	}
+	if _, err := st2.Block(base); err == nil {
+		t.Fatalf("reopened store served reclaimed height %d", base)
+	}
+	if err := st2.Append(src[40]); err != nil {
+		t.Fatalf("append after GC'd reopen: %v", err)
+	}
+}
+
+// TestReclaimInterruptedGC reproduces a crash between GC's two steps — the
+// base marker durably advanced, the segment files not yet removed — by
+// writing the marker a completed GC would have left over an un-GC'd copy of
+// the same store. Recovery must finish the job: delete the stale sub-base
+// segments and serve exactly the suffix a completed GC serves.
+func TestReclaimInterruptedGC(t *testing.T) {
+	golden := t.TempDir()
+	opts := disk.Options{SegmentBytes: 512, NoSync: true}
+	src := makeBlocks(40)
+	st, _ := mustOpen(t, golden, opts)
+	appendAll(t, st, src)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the real GC on one copy to learn the exact segment boundary and
+	// segment count it settles on.
+	done := t.TempDir()
+	copyDir(t, golden, done)
+	stDone, _ := mustOpen(t, done, opts)
+	nseg, _, err := stDone.ReclaimBelow(30, 2)
+	if err != nil || nseg == 0 {
+		t.Fatalf("reference reclaim = %d, %v", nseg, err)
+	}
+	base := stDone.Base()
+	stDone.Close()
+
+	// Crash shape: the marker alone, every segment file still present.
+	torn := t.TempDir()
+	copyDir(t, golden, torn)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], base)
+	if err := os.WriteFile(filepath.Join(torn, "BASE"), buf[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, got := mustOpen(t, torn, opts)
+	defer st2.Close()
+	if s := st2.Recovered(); s.RemovedSegments != nseg {
+		t.Fatalf("recovery removed %d stale segments, want the %d the crash interrupted", s.RemovedSegments, nseg)
+	}
+	if b := st2.Base(); b != base {
+		t.Fatalf("recovered Base() = %d, want %d", b, base)
+	}
+	if want := 40 - base; uint64(len(got)) != want {
+		t.Fatalf("recovered %d blocks, want the %d-block suffix", len(got), want)
+	}
+	if got[0].Height != base+1 {
+		t.Fatalf("suffix starts at %d, want %d", got[0].Height, base+1)
+	}
+}
+
+// TestReclaimBoundsDiskUsage is the retention guarantee stated end to end:
+// a store GC'd against a moving checkpoint with a keep-segment budget never
+// holds more than that many segments — nor more bytes than they can weigh —
+// no matter how long the chain grows.
+func TestReclaimBoundsDiskUsage(t *testing.T) {
+	const keep = 3
+	opts := disk.Options{SegmentBytes: 512, NoSync: true}
+	st, _ := mustOpen(t, t.TempDir(), opts)
+	defer st.Close()
+	src := makeBlocks(400)
+	for i, b := range src {
+		if err := st.Append(b); err != nil {
+			t.Fatalf("append height %d: %v", b.Height, err)
+		}
+		if (i+1)%8 != 0 {
+			continue
+		}
+		// The checkpoint trails the tip, as the live protocol's does.
+		if _, _, err := st.ReclaimBelow(uint64(i+1)-4, keep); err != nil {
+			t.Fatalf("reclaim at height %d: %v", i+1, err)
+		}
+		if got := st.Segments(); got > keep {
+			t.Fatalf("height %d: %d segments on disk, retention budget is %d", i+1, got, keep)
+		}
+		if got := st.Bytes(); got > keep*opts.SegmentBytes {
+			t.Fatalf("height %d: %d bytes on disk, budget is %d", i+1, got, keep*opts.SegmentBytes)
+		}
+	}
+	if st.Height() != 400 {
+		t.Fatalf("Height() = %d, want the full logical 400", st.Height())
+	}
+	if st.Base() == 0 {
+		t.Fatal("400 appends with a trailing checkpoint never advanced the base")
+	}
+}

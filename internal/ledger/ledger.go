@@ -120,6 +120,15 @@ type Ledger struct {
 	mu     sync.RWMutex
 	blocks []*Block
 
+	// base is the height of the last block below the retained suffix: the
+	// chain in memory holds heights base+1 … base+len(blocks). A fresh
+	// ledger has base 0 (full history from height 1); a ledger anchored on a
+	// verified checkpoint snapshot (AnchorSnapshot) or trimmed by checkpoint
+	// GC (Prune) starts later, with baseHash standing in for the hash of the
+	// block at height base so the chain's linkage stays verifiable.
+	base     uint64
+	baseHash types.Digest
+
 	// store, when non-nil, receives every certified block. The first
 	// persistence failure detaches it and is retained in storeErr:
 	// consensus must not halt because a disk filled, but the gap must be
@@ -130,6 +139,83 @@ type Ledger struct {
 
 // New returns an empty ledger.
 func New() *Ledger { return &Ledger{} }
+
+// AnchorStore is an optional Store extension for snapshot-anchored chains:
+// Reanchor discards every persisted block and re-bases the store so the next
+// Append lands at base+1 — the durable mirror of AnchorSnapshot.
+type AnchorStore interface {
+	Store
+	// Reanchor discards every persisted block and re-bases the empty store
+	// at base, durably: a reopened store demands base+1 as its first height.
+	Reanchor(base uint64) error
+}
+
+// AnchorSnapshot anchors the ledger on a verified checkpoint: the chain
+// logically begins after height (whose block hash is hash), and the next
+// accepted block must be height+1 with Prev == hash. It is the state-transfer
+// entry point — callers must have verified the snapshot (commit certificate,
+// state hash, manifest quorum) before anchoring. A chain that lies wholly
+// below the checkpoint is discarded (its every block is covered by the
+// verified snapshot state); a chain reaching the checkpoint or past it must
+// not be anchored — it already holds what the snapshot would replace. An
+// attached store is re-based alongside when it supports Reanchor, and
+// detached (with StoreErr set) when it does not or the re-base fails, so
+// disk and chain can never disagree about where history starts.
+func (l *Ledger) AnchorSnapshot(height uint64, hash types.Digest) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if height == 0 {
+		return fmt.Errorf("ledger: anchor: height must be positive")
+	}
+	if head := l.base + uint64(len(l.blocks)); head >= height {
+		return fmt.Errorf("ledger: anchor at %d would not extend the chain (height %d)", height, head)
+	}
+	l.blocks = nil
+	l.base, l.baseHash = height, hash
+	if l.store != nil {
+		as, ok := l.store.(AnchorStore)
+		var err error
+		if !ok {
+			err = fmt.Errorf("ledger: store cannot re-anchor at %d; store detached", height)
+		} else {
+			err = as.Reanchor(height)
+		}
+		if err != nil {
+			l.storeErr = err
+			l.store = nil
+		}
+	}
+	return nil
+}
+
+// Base returns the height of the last block below the retained suffix (0 for
+// a full-history ledger). Blocks at or below Base are no longer served.
+func (l *Ledger) Base() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// Prune drops every retained block at or below height, advancing the base —
+// checkpoint GC for the in-memory chain, mirroring the segment GC in
+// ledger/disk. Pruning at or past the head is rejected (the tip must remain),
+// as is pruning below the current base (a no-op is fine). The pruned blocks'
+// linkage is preserved through the new baseHash.
+func (l *Ledger) Prune(height uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if height <= l.base {
+		return nil
+	}
+	if height >= l.base+uint64(len(l.blocks)) {
+		return fmt.Errorf("ledger: prune %d would drop the head (height %d)", height, l.base+uint64(len(l.blocks)))
+	}
+	keep := height - l.base
+	l.baseHash = l.blocks[keep-1].Hash
+	l.blocks = append([]*Block(nil), l.blocks[keep:]...)
+	l.base = height
+	return nil
+}
 
 // SetStore attaches a durable backend. Blocks already in the chain are NOT
 // replayed into it — attach the store before appending, or after importing
@@ -207,7 +293,7 @@ func (l *Ledger) append(round uint64, cluster types.ClusterID, batch types.Batch
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := &Block{
-		Height:      uint64(len(l.blocks) + 1),
+		Height:      l.base + uint64(len(l.blocks)+1),
 		Round:       round,
 		Cluster:     cluster,
 		Batch:       batch,
@@ -217,6 +303,8 @@ func (l *Ledger) append(round uint64, cluster types.ClusterID, batch types.Batch
 	}
 	if len(l.blocks) > 0 {
 		b.Prev = l.blocks[len(l.blocks)-1].Hash
+	} else {
+		b.Prev = l.baseHash
 	}
 	b.Hash = blockHash(b)
 	l.blocks = append(l.blocks, b)
@@ -224,31 +312,34 @@ func (l *Ledger) append(round uint64, cluster types.ClusterID, batch types.Batch
 	return b
 }
 
-// Height returns the number of blocks in the chain.
+// Height returns the height of the chain's head — the count of blocks in the
+// full logical chain, including any snapshot-covered prefix below Base.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.blocks))
+	return l.base + uint64(len(l.blocks))
 }
 
-// Head returns the hash of the latest block, or the zero digest if empty.
+// Head returns the hash of the latest block — the snapshot anchor hash if
+// only the anchor is known — or the zero digest if empty.
 func (l *Ledger) Head() types.Digest {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if len(l.blocks) == 0 {
-		return types.ZeroDigest
+		return l.baseHash
 	}
 	return l.blocks[len(l.blocks)-1].Hash
 }
 
-// Block returns the block at the given height (1-based), or nil.
+// Block returns the block at the given height (1-based), or nil when the
+// height is past the head or inside the snapshot-covered prefix (≤ Base).
 func (l *Ledger) Block(height uint64) *Block {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if height < 1 || height > uint64(len(l.blocks)) {
+	if height <= l.base || height > l.base+uint64(len(l.blocks)) {
 		return nil
 	}
-	return l.blocks[height-1]
+	return l.blocks[height-l.base-1]
 }
 
 // Verify checks the full hash chain and block contents, returning an error
@@ -257,10 +348,10 @@ func (l *Ledger) Block(height uint64) *Block {
 func (l *Ledger) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var prev types.Digest
+	prev := l.baseHash
 	for i, b := range l.blocks {
-		if b.Height != uint64(i+1) {
-			return fmt.Errorf("ledger: block %d has height %d", i+1, b.Height)
+		if b.Height != l.base+uint64(i+1) {
+			return fmt.Errorf("ledger: block %d has height %d", l.base+uint64(i+1), b.Height)
 		}
 		if b.Prev != prev {
 			return fmt.Errorf("ledger: block %d has broken prev link", b.Height)
@@ -280,21 +371,24 @@ func (l *Ledger) Verify() error {
 
 // Export returns up to max blocks starting at height from (1-based), for
 // serving a catch-up request. max <= 0 exports the whole tail. It returns nil
-// when from is past the chain's end, and stops early at the first block that
-// carries no certificate (such blocks cannot be re-verified by the importer).
+// when from is past the chain's end or inside the snapshot-covered prefix
+// (≤ Base — the caller must offer snapshot-based state transfer instead), and
+// stops early at the first block that carries no certificate (such blocks
+// cannot be re-verified by the importer).
 // Blocks are immutable once appended, so sharing the pointers is safe.
 func (l *Ledger) Export(from uint64, max int) []*Block {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if from < 1 || from > uint64(len(l.blocks)) {
+	if from <= l.base || from > l.base+uint64(len(l.blocks)) {
 		return nil
 	}
+	first := from - l.base // 1-based index into the retained suffix
 	end := uint64(len(l.blocks))
-	if max > 0 && from-1+uint64(max) < end {
-		end = from - 1 + uint64(max)
+	if max > 0 && first-1+uint64(max) < end {
+		end = first - 1 + uint64(max)
 	}
-	out := make([]*Block, 0, end-from+1)
-	for _, b := range l.blocks[from-1 : end] {
+	out := make([]*Block, 0, end-first+1)
+	for _, b := range l.blocks[first-1 : end] {
 		if b.Cert == nil {
 			break
 		}
@@ -323,11 +417,11 @@ func (l *Ledger) Export(from uint64, max int) []*Block {
 func (l *Ledger) Import(blocks []*Block, verify func(*Block) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	prev := types.ZeroDigest
+	prev := l.baseHash
 	if n := len(l.blocks); n > 0 {
 		prev = l.blocks[n-1].Hash
 	}
-	base := uint64(len(l.blocks))
+	base := l.base + uint64(len(l.blocks))
 	staged := make([]*Block, 0, len(blocks))
 	for i, b := range blocks {
 		if b == nil {
@@ -406,16 +500,42 @@ func (l *Ledger) PrefixOf(other *Ledger) bool {
 	// would otherwise deadlock. Blocks are immutable once appended and the
 	// slice grows append-only, so the snapshots stay valid after unlock.
 	l.mu.RLock()
-	mine := l.blocks
+	mBase, mAnchor, mine := l.base, l.baseHash, l.blocks
 	l.mu.RUnlock()
 	other.mu.RLock()
-	theirs := other.blocks
+	oBase, oAnchor, theirs := other.base, other.baseHash, other.blocks
 	other.mu.RUnlock()
-	if len(mine) > len(theirs) {
+	mHead := mBase + uint64(len(mine))
+	oHead := oBase + uint64(len(theirs))
+	if mHead > oHead {
 		return false
 	}
-	for i, b := range mine {
-		if theirs[i].Hash != b.Hash {
+	// Cross-check each side's snapshot anchor against the other's retained
+	// chain where it overlaps: an anchor claims the hash of the block at its
+	// base height.
+	if oBase > mBase && oBase <= mHead {
+		if mine[oBase-mBase-1].Hash != oAnchor {
+			return false
+		}
+	}
+	if mBase > oBase && mBase <= oHead {
+		if theirs[mBase-oBase-1].Hash != mAnchor {
+			return false
+		}
+	}
+	if mBase == oBase && mBase > 0 && mAnchor != oAnchor {
+		return false
+	}
+	// Compare block hashes over the heights both sides retain. A snapshot-
+	// anchored chain whose base is past the other's head has no overlap; the
+	// anchor's verified commit certificate is then the only evidence, and
+	// agreement cannot be disproved here.
+	lo := mBase
+	if oBase > lo {
+		lo = oBase
+	}
+	for h := lo + 1; h <= mHead; h++ {
+		if mine[h-mBase-1].Hash != theirs[h-oBase-1].Hash {
 			return false
 		}
 	}

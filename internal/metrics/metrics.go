@@ -53,18 +53,19 @@ func (d *Drops) Snapshot() DropStats {
 	}
 }
 
-// DropStats is a snapshot of Drops, aggregatable across sources. Mempool
-// rides along for reporting convenience: admission outcomes are accounting,
-// not losses, so Total ignores it.
+// DropStats is a snapshot of Drops, aggregatable across sources. Mempool and
+// Snapshots ride along for reporting convenience: admission outcomes and
+// checkpoint/GC activity are accounting, not losses, so Total ignores them.
 type DropStats struct {
-	Mailbox      uint64       `json:"mailbox"`
-	SendQueue    uint64       `json:"send_queue"`
-	OutQ         uint64       `json:"out_queue"`
-	Encode       uint64       `json:"encode"`
-	Decode       uint64       `json:"decode"`
-	NoRoute      uint64       `json:"no_route"`
-	VerifyReject uint64       `json:"verify_reject"`
-	Mempool      MempoolStats `json:"mempool"`
+	Mailbox      uint64        `json:"mailbox"`
+	SendQueue    uint64        `json:"send_queue"`
+	OutQ         uint64        `json:"out_queue"`
+	Encode       uint64        `json:"encode"`
+	Decode       uint64        `json:"decode"`
+	NoRoute      uint64        `json:"no_route"`
+	VerifyReject uint64        `json:"verify_reject"`
+	Mempool      MempoolStats  `json:"mempool"`
+	Snapshots    SnapshotStats `json:"snapshots"`
 }
 
 // Add accumulates o into s (merging per-node or per-transport snapshots).
@@ -77,6 +78,7 @@ func (s *DropStats) Add(o DropStats) {
 	s.NoRoute += o.NoRoute
 	s.VerifyReject += o.VerifyReject
 	s.Mempool.Add(o.Mempool)
+	s.Snapshots.Add(o.Snapshots)
 }
 
 // Total returns the sum of all drop classes. Mempool admission outcomes are
@@ -111,6 +113,46 @@ func (s *MempoolStats) Add(o MempoolStats) {
 	s.Replayed += o.Replayed
 	s.RateLimited += o.RateLimited
 	s.Evicted += o.Evicted
+}
+
+// SnapshotStats counts checkpoint-snapshot and ledger-GC activity at one
+// replica (or aggregated over a deployment's hosted replicas): the bounded-
+// history counters operators watch to confirm storage actually stays bounded
+// and tampered snapshot material is being rejected rather than installed.
+type SnapshotStats struct {
+	// Written counts checkpoints this replica captured and published itself.
+	Written uint64 `json:"written"`
+	// Served counts snapshot manifests and state chunks served to peers.
+	Served uint64 `json:"served"`
+	// Installed counts snapshots installed from peers or the local archive
+	// (the snapshot-bootstrap path of a fresh or far-behind replica).
+	Installed uint64 `json:"installed"`
+	// Rejected counts tampered or forged snapshot material discarded during
+	// verification (also included in DropStats.VerifyReject).
+	Rejected uint64 `json:"rejected"`
+	// SegmentsReclaimed counts ledger disk segments garbage-collected below
+	// durable checkpoints.
+	SegmentsReclaimed uint64 `json:"segments_reclaimed"`
+	// BytesReclaimed is the total size of the reclaimed segments.
+	BytesReclaimed uint64 `json:"bytes_reclaimed"`
+	// DiskBytes is the current on-disk size of the hosted block stores.
+	DiskBytes uint64 `json:"disk_bytes"`
+	// StoreErrs counts replicas whose ledger detached from its block store
+	// after a persistence failure (Ledger.StoreErr non-nil): the node runs
+	// on, memory-only, but its durability gap must not go unnoticed.
+	StoreErrs uint64 `json:"store_errs"`
+}
+
+// Add accumulates o into s.
+func (s *SnapshotStats) Add(o SnapshotStats) {
+	s.Written += o.Written
+	s.Served += o.Served
+	s.Installed += o.Installed
+	s.Rejected += o.Rejected
+	s.SegmentsReclaimed += o.SegmentsReclaimed
+	s.BytesReclaimed += o.BytesReclaimed
+	s.DiskBytes += o.DiskBytes
+	s.StoreErrs += o.StoreErrs
 }
 
 // Collector accumulates samples. It is safe for concurrent use (the real

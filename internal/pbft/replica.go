@@ -70,6 +70,12 @@ type Hooks struct {
 	// The fabric counts these into its drop statistics so forged messages
 	// land in Fabric.Stats as verify-rejects instead of vanishing uncounted.
 	Rejected func()
+	// Checkpointed fires when a checkpoint becomes stable at seq — 2f+1
+	// members attested to the same execution history, so state below seq is
+	// durable cluster-wide. The fabric publishes its pending state snapshot
+	// and garbage-collects ledger segments on this signal, never earlier: a
+	// snapshot must not outrun the proof that its prefix is common.
+	Checkpointed func(seq uint64)
 }
 
 // voteKey identifies the proposal a prepare/commit vote supports. Votes are
@@ -644,6 +650,9 @@ func (r *Replica) stabilize(seq uint64, proof []*Checkpoint) {
 	}
 	if r.nextSeq < seq {
 		r.nextSeq = seq
+	}
+	if r.hooks.Checkpointed != nil {
+		r.hooks.Checkpointed(seq)
 	}
 	r.tryPropose()
 }

@@ -1,0 +1,213 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Archive is a replica's on-disk snapshot store: one manifest file plus one
+// state file per retained checkpoint round, in a flat directory next to the
+// ledger segments. Writes are atomic (temp file + rename, state before
+// manifest, both fsynced) so a crash mid-write never leaves a manifest
+// without its state; older checkpoints beyond the retention count are pruned
+// on every Put. Manifest files hold the wire encoding (Manifest.Encode), so
+// the archive can be served over snapshot-resp byte for byte.
+type Archive struct {
+	mu     sync.Mutex
+	dir    string
+	retain int
+	rounds []uint64 // retained checkpoint rounds, ascending
+}
+
+// manifestFile and stateFile name the two files of one checkpoint round.
+func manifestFile(round uint64) string { return fmt.Sprintf("snap-%016x.man", round) }
+func stateFile(round uint64) string    { return fmt.Sprintf("snap-%016x.state", round) }
+
+// OpenArchive opens (creating if needed) the snapshot archive in dir,
+// retaining at most retain checkpoints (minimum 1). Manifest files that fail
+// to decode or lack their state file are ignored — a torn write from a crash
+// loses at most that one checkpoint.
+func OpenArchive(dir string, retain int) (*Archive, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: archive: %w", err)
+	}
+	a := &Archive{dir: dir, retain: retain}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: archive: %w", err)
+	}
+	for _, e := range entries {
+		var round uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%016x.man", &round); err != nil {
+			continue
+		}
+		m, err := a.loadManifest(round)
+		if err != nil || m.Round != round {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, stateFile(round))); err != nil {
+			continue
+		}
+		a.rounds = append(a.rounds, round)
+	}
+	sort.Slice(a.rounds, func(i, j int) bool { return a.rounds[i] < a.rounds[j] })
+	return a, nil
+}
+
+// loadManifest reads and decodes one manifest file.
+func (a *Archive) loadManifest(round uint64) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(a.dir, manifestFile(round)))
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// Put persists one checkpoint atomically and prunes rounds beyond the
+// retention count. The manifest must describe state (callers build both
+// together); Put re-checks the binding so a bug cannot persist a mismatched
+// pair.
+func (a *Archive) Put(m *Manifest, state []byte) error {
+	if err := m.VerifyState(state); err != nil {
+		return err
+	}
+	buf, err := m.Encode()
+	if err != nil {
+		return fmt.Errorf("snapshot: archive: encode manifest: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.writeFile(stateFile(m.Round), state); err != nil {
+		return err
+	}
+	if err := a.writeFile(manifestFile(m.Round), buf); err != nil {
+		return err
+	}
+	i := sort.Search(len(a.rounds), func(i int) bool { return a.rounds[i] >= m.Round })
+	if i == len(a.rounds) || a.rounds[i] != m.Round {
+		a.rounds = append(a.rounds, 0)
+		copy(a.rounds[i+1:], a.rounds[i:])
+		a.rounds[i] = m.Round
+	}
+	for len(a.rounds) > a.retain {
+		old := a.rounds[0]
+		a.rounds = a.rounds[1:]
+		os.Remove(filepath.Join(a.dir, manifestFile(old)))
+		os.Remove(filepath.Join(a.dir, stateFile(old)))
+	}
+	return a.syncDir()
+}
+
+// writeFile writes data to name atomically: temp file, fsync, rename.
+func (a *Archive) writeFile(name string, data []byte) error {
+	tmp, err := os.CreateTemp(a.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(a.dir, name)); err != nil {
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	return nil
+}
+
+// syncDir makes renames durable.
+func (a *Archive) syncDir() error {
+	d, err := os.Open(a.dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: archive: %w", err)
+	}
+	return nil
+}
+
+// LatestRound returns the newest retained checkpoint round (0: none).
+func (a *Archive) LatestRound() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.rounds) == 0 {
+		return 0
+	}
+	return a.rounds[len(a.rounds)-1]
+}
+
+// Manifest returns the manifest for round; round 0 selects the newest. It
+// returns nil when the round is not retained or its file no longer decodes.
+func (a *Archive) Manifest(round uint64) *Manifest {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if round == 0 {
+		if len(a.rounds) == 0 {
+			return nil
+		}
+		round = a.rounds[len(a.rounds)-1]
+	}
+	m, err := a.loadManifest(round)
+	if err != nil || m.Round != round {
+		return nil
+	}
+	return m
+}
+
+// State returns the serialized state of a retained round.
+func (a *Archive) State(round uint64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	buf, err := os.ReadFile(filepath.Join(a.dir, stateFile(round)))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: archive: %w", err)
+	}
+	return buf, nil
+}
+
+// ReadChunk returns the idx-th chunk of a retained round's state under the
+// manifest's chunking, reading only that byte range from disk.
+func (a *Archive) ReadChunk(m *Manifest, idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(m.Chunks) {
+		return nil, fmt.Errorf("snapshot: archive: chunk %d out of range", idx)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, err := os.Open(filepath.Join(a.dir, stateFile(m.Round)))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: archive: %w", err)
+	}
+	defer f.Close()
+	lo := int64(idx) * int64(m.ChunkSize)
+	n := int(m.ChunkSize)
+	if last := int(m.StateLen) - idx*int(m.ChunkSize); last < n {
+		n = last
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, lo); err != nil {
+		return nil, fmt.Errorf("snapshot: archive: %w", err)
+	}
+	return buf, nil
+}
+
+// Rounds returns the retained checkpoint rounds, ascending.
+func (a *Archive) Rounds() []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]uint64(nil), a.rounds...)
+}

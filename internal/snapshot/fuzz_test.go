@@ -1,0 +1,137 @@
+package snapshot_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/snapshot"
+)
+
+// FuzzSnapshotManifest throws mutated manifest bytes at the full receive
+// path a joining node runs: decode, verification against a real topology
+// and signature suite, and chunk checks against the raw input posing as
+// transferred state. Malformed input must be rejected cleanly — no panic,
+// no unbounded allocation — and anything that decodes must re-encode to an
+// equivalent manifest (same identity key), since the archive persists and
+// re-serves exactly these bytes. Seeds are the committed corpus
+// (CorpusManifests: one honest manifest plus every tamperer forgery class).
+func FuzzSnapshotManifest(f *testing.F) {
+	for _, m := range snapshot.CorpusManifests() {
+		buf, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	topo := config.NewTopology(2, 4)
+	dir := crypto.NewDirectory(crypto.Real, topo.AllReplicas())
+	suite := crypto.NewSuite(dir, topo.ReplicaID(0, 0), crypto.FreeCosts(), nil)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := snapshot.Decode(data)
+		if err != nil {
+			return
+		}
+		// Verification must decide, never panic, whatever the field values.
+		verifies := m.Verify(topo, suite) == nil
+
+		// Chunk and state checks against arbitrary bytes: same contract.
+		_ = m.VerifyChunk(0, data)
+		_ = m.VerifyChunk(len(m.Chunks)-1, data)
+		_ = m.VerifyState(data)
+
+		// Decoded manifests re-encode to the same identity: the archive
+		// stores wire bytes and servers re-frame them, so a key that drifts
+		// through a round-trip would split the joiner's f+1 quorum.
+		buf, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded manifest does not re-encode: %v", err)
+		}
+		m2, err := snapshot.Decode(buf)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		if m2.Key() != m.Key() {
+			t.Fatal("manifest key drifted through an encode/decode round-trip")
+		}
+		if verifies && m2.Verify(topo, suite) != nil {
+			t.Fatal("verifying manifest stopped verifying after a round-trip")
+		}
+	})
+}
+
+// TestCorpusManifests runs every committed corpus seed through the same
+// contract the fuzzer asserts, so the corpus stays valid even when the
+// fuzzer is not run. Two forgery classes are re-signed by the adversary
+// with its own (valid) key: those verify structurally by design — their
+// defense is key divergence, which starves them of the joiner's f+1
+// matching-endorsement quorum — so for them the test asserts the divergence
+// instead of a verification failure.
+func TestCorpusManifests(t *testing.T) {
+	topo := config.NewTopology(2, 4)
+	dir := crypto.NewDirectory(crypto.Real, topo.AllReplicas())
+	suite := crypto.NewSuite(dir, topo.ReplicaID(0, 0), crypto.FreeCosts(), nil)
+	manifests := snapshot.CorpusManifests()
+	honestKey := manifests[0].Key()
+	resigned := map[string]bool{"resigned-state-hash": true, "resigned-hist": true}
+	for i, m := range manifests {
+		name := snapshot.CorpusName(i)
+		buf, err := m.Encode()
+		if err != nil {
+			t.Fatalf("corpus %s: encode: %v", name, err)
+		}
+		m2, err := snapshot.Decode(buf)
+		if err != nil {
+			t.Fatalf("corpus %s: decode: %v", name, err)
+		}
+		if m2.Key() != m.Key() {
+			t.Fatalf("corpus %s: key drifted through the wire", name)
+		}
+		err = m2.Verify(topo, suite)
+		switch {
+		case i == 0 && err != nil:
+			t.Fatalf("corpus honest seed fails verification: %v", err)
+		case resigned[name]:
+			if err != nil {
+				t.Fatalf("corpus %s: re-signed forgery must verify structurally: %v", name, err)
+			}
+			if m2.Key() == honestKey {
+				t.Fatalf("corpus %s: content forgery kept the honest key", name)
+			}
+		case i > 0 && err == nil:
+			t.Fatalf("corpus forgery %s verified", name)
+		}
+	}
+}
+
+// TestRegenerateCorpus writes the snapshot fuzz seeds into the directory
+// named by SNAPSHOT_CORPUS_DIR (normally testdata/fuzz/FuzzSnapshotManifest)
+// and is skipped otherwise. CorpusManifests is deterministic, so
+// regeneration is byte-for-byte:
+//
+//	SNAPSHOT_CORPUS_DIR=testdata/fuzz/FuzzSnapshotManifest go test -run TestRegenerateCorpus ./internal/snapshot/
+func TestRegenerateCorpus(t *testing.T) {
+	dir := os.Getenv("SNAPSHOT_CORPUS_DIR")
+	if dir == "" {
+		t.Skip("set SNAPSHOT_CORPUS_DIR to write the corpus seeds")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range snapshot.CorpusManifests() {
+		buf, err := m.Encode()
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("snap-%02d-%s", i, snapshot.CorpusName(i)))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", buf)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", name, len(buf))
+	}
+}

@@ -1,0 +1,259 @@
+// Package snapshot implements checkpoint snapshots of the executed kvstore
+// state: the bounded-history mechanism that lets the fabric garbage-collect
+// old ledger segments and lets a fresh or far-behind replica bootstrap from a
+// verified state snapshot plus a short block suffix instead of replaying the
+// whole chain (the state-transfer design of PBFT §4.3, applied to GeoBFT's
+// z-blocks-per-round ledger).
+//
+// A snapshot is a Manifest plus the serialized kvstore state it describes.
+// The manifest is content-addressed end to end: the state is hashed whole
+// (StateHash) and per chunk (Chunks), the chain linkage is pinned by the tip
+// block's recomputable hash, and the checkpoint round's commit certificate is
+// embedded so any replica can verify the snapshot reflects a committed
+// prefix without trusting the server. Manifests are signed by the serving
+// replica; a joining node additionally requires f+1 replicas to vouch for
+// the same manifest key (Key) before fetching state, so at least one honest
+// replica stands behind every installed snapshot.
+//
+// The manifest travels through the internal/types wire registry, and the
+// Archive persists exactly those wire bytes, so network and disk encodings
+// are identical and one fuzzer (FuzzSnapshotManifest) covers both.
+package snapshot
+
+import (
+	"fmt"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// DefaultChunkSize is the state-transfer chunk size when the builder does not
+// choose one: small enough to interleave with consensus traffic, large enough
+// that a manifest's chunk table stays tiny.
+const DefaultChunkSize = 64 << 10
+
+// MaxStateBytes bounds the serialized state a manifest may describe (and
+// therefore what a decoder will ever allocate while assembling one): 1 GiB,
+// far above any deployment this repository runs, low enough to stop a forged
+// manifest from driving pathological allocations.
+const MaxStateBytes = 1 << 30
+
+// Manifest describes one checkpoint snapshot. All fields participate in Key
+// except Replica and Sig, which bind a particular server's endorsement.
+type Manifest struct {
+	// Round is the checkpoint round: the snapshot captures the state after
+	// executing every block of rounds 1…Round.
+	Round uint64
+	// Height is the chain height at the checkpoint: Round·z for z clusters.
+	Height uint64
+	// TipPrev is the Prev hash of the checkpoint's tip block (height Height),
+	// carried so TipHash can be recomputed rather than trusted.
+	TipPrev types.Digest
+	// StateHash is the hash of the whole serialized kvstore state.
+	StateHash types.Digest
+	// StateLen is the serialized state's length in bytes.
+	StateLen uint64
+	// ChunkSize is the transfer chunk size; every chunk but the last is
+	// exactly this long.
+	ChunkSize uint32
+	// Chunks holds the hash of each state chunk, in order — the content
+	// addresses a joining node verifies transfers against.
+	Chunks []types.Digest
+	// Hist holds each cluster's pbft commit-history digest folded through
+	// round Round (index = cluster), so an installing replica can seed its
+	// consensus engines exactly as if it had executed the prefix.
+	Hist []types.Digest
+	// Cert is the commit certificate of the tip block (the last cluster's
+	// batch at Round): the consensus proof behind the checkpoint.
+	Cert *pbft.Certificate
+	// Replica identifies the replica endorsing (serving) this manifest.
+	Replica types.NodeID
+	// Sig is Replica's signature over SigPayload.
+	Sig []byte
+}
+
+// MsgType implements types.Message.
+func (*Manifest) MsgType() string { return "snapshot/manifest" }
+
+// WireSize implements types.Message.
+func (m *Manifest) WireSize() int {
+	n := 8 + 8 + 32 + 32 + 8 + 4 + 32*len(m.Chunks) + 32*len(m.Hist) + len(m.Sig) + 8
+	if m.Cert != nil {
+		n += m.Cert.WireSize()
+	}
+	return n
+}
+
+// Key returns the digest identifying the snapshot's content: every field
+// except the per-server endorsement (Replica, Sig) and the commit
+// certificate. Replicas that executed the same prefix produce identical keys,
+// which is what lets a joining node demand f+1 matching endorsements before
+// trusting a snapshot. The certificate is deliberately excluded: any n−f of
+// the commit signatures prove the same decision, so the signer subsets — and
+// hence the certificate digests — legitimately differ between replicas that
+// agree on everything the key covers. Its claims are still pinned: Hist folds
+// every cluster's batch digests (including the tip batch the certificate
+// binds), and Verify checks the certificate independently.
+func (m *Manifest) Key() types.Digest {
+	enc := types.NewEncoder(256 + 32*(len(m.Chunks)+len(m.Hist)))
+	enc.String("snapshot/KEY")
+	enc.U64(m.Round)
+	enc.U64(m.Height)
+	enc.Digest(m.TipPrev)
+	enc.Digest(m.StateHash)
+	enc.U64(m.StateLen)
+	enc.U32(m.ChunkSize)
+	enc.U32(uint32(len(m.Chunks)))
+	for _, d := range m.Chunks {
+		enc.Digest(d)
+	}
+	enc.U32(uint32(len(m.Hist)))
+	for _, d := range m.Hist {
+		enc.Digest(d)
+	}
+	return types.Hash(enc.Bytes())
+}
+
+// SigPayload is the byte string a replica signs to endorse a manifest.
+func SigPayload(m *Manifest) []byte {
+	enc := types.NewEncoder(64)
+	enc.String("snapshot/SIG")
+	enc.Digest(m.Key())
+	enc.I32(int32(m.Replica))
+	return enc.Bytes()
+}
+
+// Tip reconstructs the checkpoint's tip block from the manifest: height
+// Height, round Round, the last cluster of the topology, the certificate's
+// batch, sealed against TipPrev. Its Hash is the anchor a suffix must extend;
+// recomputing it (rather than shipping it) means a forged manifest cannot
+// claim linkage it does not have.
+func (m *Manifest) Tip(clusters int) *ledger.Block {
+	b := &ledger.Block{
+		Height:      m.Height,
+		Round:       m.Round,
+		Cluster:     types.ClusterID(clusters - 1),
+		Batch:       m.Cert.Batch,
+		BatchDigest: m.Cert.Batch.Digest(),
+		CertDigest:  m.Cert.CertDigest(),
+		Cert:        m.Cert,
+	}
+	b.Seal(m.TipPrev)
+	return b
+}
+
+// Verify checks everything about a manifest that does not require the state
+// bytes: structural sanity, the chunk table against StateLen, the embedded
+// commit certificate against the tip cluster's membership, and the serving
+// replica's endorsement signature. It is the gate every received (or
+// archive-loaded) manifest passes before any state transfer begins.
+func (m *Manifest) Verify(topo config.Topology, suite *crypto.Suite) error {
+	z := uint64(topo.Clusters)
+	if m.Round < 1 || m.Height != m.Round*z {
+		return fmt.Errorf("snapshot: manifest height %d does not close round %d over %d clusters", m.Height, m.Round, z)
+	}
+	if m.StateLen == 0 || m.StateLen > MaxStateBytes {
+		return fmt.Errorf("snapshot: manifest state length %d out of range", m.StateLen)
+	}
+	if m.ChunkSize < 1 {
+		return fmt.Errorf("snapshot: manifest chunk size zero")
+	}
+	if want := chunkCount(m.StateLen, m.ChunkSize); len(m.Chunks) != want {
+		return fmt.Errorf("snapshot: manifest carries %d chunks, state length needs %d", len(m.Chunks), want)
+	}
+	if len(m.Hist) != topo.Clusters {
+		return fmt.Errorf("snapshot: manifest carries %d history digests for %d clusters", len(m.Hist), topo.Clusters)
+	}
+	if m.Cert == nil {
+		return fmt.Errorf("snapshot: manifest carries no commit certificate")
+	}
+	if m.Cert.Seq != m.Round {
+		return fmt.Errorf("snapshot: certificate seq %d does not match round %d", m.Cert.Seq, m.Round)
+	}
+	tip := topo.Clusters - 1
+	if !m.Cert.Verify(suite, topo.ClusterMembers(tip), topo.PerCluster-topo.F()) {
+		return fmt.Errorf("snapshot: commit certificate fails verification against cluster %d", tip)
+	}
+	if int(m.Replica) < 0 || int(m.Replica) >= topo.TotalReplicas() {
+		return fmt.Errorf("snapshot: manifest endorsed by unknown replica %d", m.Replica)
+	}
+	if !suite.Verify(m.Replica, SigPayload(m), m.Sig) {
+		return fmt.Errorf("snapshot: manifest signature by replica %d invalid", m.Replica)
+	}
+	return nil
+}
+
+// VerifyChunk checks one transferred state chunk against the manifest's
+// content addressing: index range, exact length, and chunk hash.
+func (m *Manifest) VerifyChunk(idx int, data []byte) error {
+	if idx < 0 || idx >= len(m.Chunks) {
+		return fmt.Errorf("snapshot: chunk index %d out of range (%d chunks)", idx, len(m.Chunks))
+	}
+	want := int(m.ChunkSize)
+	if idx == len(m.Chunks)-1 {
+		want = int(m.StateLen) - idx*int(m.ChunkSize)
+	}
+	if len(data) != want {
+		return fmt.Errorf("snapshot: chunk %d is %d bytes, want %d", idx, len(data), want)
+	}
+	if types.Hash(data) != m.Chunks[idx] {
+		return fmt.Errorf("snapshot: chunk %d content hash mismatch", idx)
+	}
+	return nil
+}
+
+// VerifyState checks a fully assembled state blob against the manifest.
+func (m *Manifest) VerifyState(state []byte) error {
+	if uint64(len(state)) != m.StateLen {
+		return fmt.Errorf("snapshot: state is %d bytes, manifest says %d", len(state), m.StateLen)
+	}
+	if types.Hash(state) != m.StateHash {
+		return fmt.Errorf("snapshot: state hash mismatch")
+	}
+	return nil
+}
+
+// chunkCount returns how many chunks a state of stateLen bytes splits into.
+func chunkCount(stateLen uint64, chunkSize uint32) int {
+	return int((stateLen + uint64(chunkSize) - 1) / uint64(chunkSize))
+}
+
+// Chunk returns the idx-th chunk of state under the manifest's chunking.
+func (m *Manifest) Chunk(state []byte, idx int) []byte {
+	lo := idx * int(m.ChunkSize)
+	hi := lo + int(m.ChunkSize)
+	if hi > len(state) {
+		hi = len(state)
+	}
+	return state[lo:hi]
+}
+
+// Build assembles an unsigned manifest for the checkpoint at round over the
+// given serialized state. tipPrev and cert come from the tip block at height
+// round·clusters; hist carries each cluster's commit-history digest through
+// the round. Sign completes it.
+func Build(round uint64, clusters int, tipPrev types.Digest, cert *pbft.Certificate, hist []types.Digest, state []byte) *Manifest {
+	m := &Manifest{
+		Round:     round,
+		Height:    round * uint64(clusters),
+		TipPrev:   tipPrev,
+		StateHash: types.Hash(state),
+		StateLen:  uint64(len(state)),
+		ChunkSize: DefaultChunkSize,
+		Hist:      append([]types.Digest(nil), hist...),
+		Cert:      cert,
+	}
+	for i := 0; i < chunkCount(m.StateLen, m.ChunkSize); i++ {
+		m.Chunks = append(m.Chunks, types.Hash(m.Chunk(state, i)))
+	}
+	return m
+}
+
+// Sign endorses the manifest as the suite's replica.
+func (m *Manifest) Sign(suite *crypto.Suite) {
+	m.Replica = suite.ID()
+	m.Sig = suite.Sign(SigPayload(m))
+}

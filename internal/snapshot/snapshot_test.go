@@ -1,0 +1,374 @@
+package snapshot_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/snapshot"
+	"resilientdb/internal/types"
+)
+
+// fixture bundles a topology with real-signature suites for every replica,
+// so manifests and certificates in these tests verify exactly as they do on
+// a live deployment.
+type fixture struct {
+	topo   config.Topology
+	suites map[types.NodeID]*crypto.Suite
+}
+
+func newFixture() *fixture {
+	topo := config.NewTopology(2, 4)
+	dir := crypto.NewDirectory(crypto.Real, topo.AllReplicas())
+	f := &fixture{topo: topo, suites: map[types.NodeID]*crypto.Suite{}}
+	for _, id := range topo.AllReplicas() {
+		f.suites[id] = crypto.NewSuite(dir, id, crypto.FreeCosts(), nil)
+	}
+	return f
+}
+
+// state returns a deterministic pseudo-state of n bytes.
+func testState(n int, seed byte) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(i)*31 + seed
+	}
+	return s
+}
+
+// cert builds a properly signed tip certificate for round, quorum-signed by
+// the given members of the tip cluster.
+func (f *fixture) cert(round uint64, signers []types.NodeID) *pbft.Certificate {
+	tip := types.Batch{Client: types.ClientIDBase, Seq: round, NoOp: true}
+	tip.PrimeDigest()
+	c := &pbft.Certificate{
+		View: 0, Seq: round, Digest: tip.Digest(), Batch: tip,
+		Signers: append([]types.NodeID(nil), signers...),
+	}
+	payload := pbft.CommitPayload(0, round, c.Digest)
+	for _, id := range c.Signers {
+		c.Sigs = append(c.Sigs, f.suites[id].Sign(payload))
+	}
+	return c
+}
+
+// manifest builds and signs a fully verifiable manifest at round over state.
+func (f *fixture) manifest(round uint64, state []byte, by types.NodeID) *snapshot.Manifest {
+	members := f.topo.ClusterMembers(f.topo.Clusters - 1)
+	quorum := f.topo.PerCluster - f.topo.F()
+	hist := []types.Digest{types.Hash([]byte("h0")), types.Hash([]byte("h1"))}
+	m := snapshot.Build(round, f.topo.Clusters,
+		types.Hash([]byte(fmt.Sprintf("prev-%d", round))), f.cert(round, members[:quorum]), hist, state)
+	m.Sign(f.suites[by])
+	return m
+}
+
+func TestBuildVerifyRoundTrip(t *testing.T) {
+	f := newFixture()
+	state := testState(snapshot.DefaultChunkSize*2+300, 1) // 3 chunks, short tail
+	m := f.manifest(6, state, f.topo.ReplicaID(0, 2))
+
+	if err := m.Verify(f.topo, f.suites[0]); err != nil {
+		t.Fatalf("built manifest fails verification: %v", err)
+	}
+	if err := m.VerifyState(state); err != nil {
+		t.Fatalf("state fails its own manifest: %v", err)
+	}
+	if len(m.Chunks) != 3 {
+		t.Fatalf("manifest split state into %d chunks, want 3", len(m.Chunks))
+	}
+	for i := range m.Chunks {
+		if err := m.VerifyChunk(i, m.Chunk(state, i)); err != nil {
+			t.Fatalf("chunk %d fails its own manifest: %v", i, err)
+		}
+	}
+	// The tip reconstructs with the height/round the manifest claims and
+	// seals against TipPrev — the anchor a fetched suffix must extend.
+	tip := m.Tip(f.topo.Clusters)
+	if tip.Height != m.Height || tip.Round != m.Round || tip.Prev != m.TipPrev {
+		t.Fatalf("reconstructed tip %+v does not match the manifest", tip)
+	}
+
+	// Wire round-trip: decode of the canonical encoding verifies unchanged
+	// and keeps the identity key (this is also the archive's disk format).
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := snapshot.Decode(buf)
+	if err != nil {
+		t.Fatalf("decode canonical encoding: %v", err)
+	}
+	if m2.Key() != m.Key() {
+		t.Fatal("wire round-trip changed the manifest key")
+	}
+	if err := m2.Verify(f.topo, f.suites[0]); err != nil {
+		t.Fatalf("decoded manifest fails verification: %v", err)
+	}
+}
+
+// TestKeyAgreesAcrossEndorsers pins the quorum-matching property the joiner
+// depends on: replicas that executed the same prefix produce the same Key
+// even though each signs its own copy and their certificates carry different
+// (equally valid) signer subsets — while any content difference changes it.
+func TestKeyAgreesAcrossEndorsers(t *testing.T) {
+	f := newFixture()
+	state := testState(4096, 2)
+	members := f.topo.ClusterMembers(f.topo.Clusters - 1)
+	quorum := f.topo.PerCluster - f.topo.F()
+	hist := []types.Digest{types.Hash([]byte("h0")), types.Hash([]byte("h1"))}
+	prev := types.Hash([]byte("prev"))
+
+	a := snapshot.Build(5, f.topo.Clusters, prev, f.cert(5, members[:quorum]), hist, state)
+	a.Sign(f.suites[f.topo.ReplicaID(1, 0)])
+	b := snapshot.Build(5, f.topo.Clusters, prev, f.cert(5, members[len(members)-quorum:]), hist, state)
+	b.Sign(f.suites[f.topo.ReplicaID(1, 3)])
+
+	if a.Key() != b.Key() {
+		t.Fatal("same content, different endorsers/cert signers: keys must match")
+	}
+	if err := b.Verify(f.topo, f.suites[0]); err != nil {
+		t.Fatalf("alternate-signer certificate fails verification: %v", err)
+	}
+
+	c := snapshot.Build(5, f.topo.Clusters, prev, f.cert(5, members[:quorum]), hist, testState(4096, 3))
+	if a.Key() == c.Key() {
+		t.Fatal("different state, same key")
+	}
+	d := snapshot.Build(6, f.topo.Clusters, prev, f.cert(6, members[:quorum]), hist, state)
+	if a.Key() == d.Key() {
+		t.Fatal("different round, same key")
+	}
+}
+
+// TestVerifyRejects walks the forgeries Verify must catch, one field at a
+// time, each on a fresh honest manifest.
+func TestVerifyRejects(t *testing.T) {
+	f := newFixture()
+	state := testState(snapshot.DefaultChunkSize+17, 4)
+	fresh := func() *snapshot.Manifest { return f.manifest(7, state, 1) }
+
+	cases := []struct {
+		name   string
+		mutate func(*snapshot.Manifest)
+	}{
+		{"height off the round boundary", func(m *snapshot.Manifest) { m.Height++ }},
+		{"zero state length", func(m *snapshot.Manifest) { m.StateLen = 0 }},
+		{"state length above the cap", func(m *snapshot.Manifest) { m.StateLen = snapshot.MaxStateBytes + 1 }},
+		{"zero chunk size", func(m *snapshot.Manifest) { m.ChunkSize = 0 }},
+		{"truncated chunk table", func(m *snapshot.Manifest) { m.Chunks = m.Chunks[:1] }},
+		{"history digests for the wrong cluster count", func(m *snapshot.Manifest) { m.Hist = m.Hist[:1] }},
+		{"missing certificate", func(m *snapshot.Manifest) { m.Cert = nil }},
+		{"certificate for another round", func(m *snapshot.Manifest) { m.Cert.Seq++ }},
+		{"garbled certificate signature", func(m *snapshot.Manifest) { m.Cert.Sigs[0][0] ^= 0xff }},
+		{"sub-quorum certificate", func(m *snapshot.Manifest) {
+			m.Cert.Signers = m.Cert.Signers[:1]
+			m.Cert.Sigs = m.Cert.Sigs[:1]
+		}},
+		{"unknown endorsing replica", func(m *snapshot.Manifest) { m.Replica = 99 }},
+		{"garbled endorsement signature", func(m *snapshot.Manifest) { m.Sig[0] ^= 0xff }},
+		{"rewritten state hash", func(m *snapshot.Manifest) { m.StateHash[0] ^= 0xff }},
+		{"rewritten history fold", func(m *snapshot.Manifest) { m.Hist[0][0] ^= 0xff }},
+	}
+	for _, tc := range cases {
+		m := fresh()
+		tc.mutate(m)
+		if err := m.Verify(f.topo, f.suites[0]); err == nil {
+			t.Errorf("%s: manifest verified", tc.name)
+		}
+	}
+	if err := fresh().Verify(f.topo, f.suites[0]); err != nil {
+		t.Fatalf("control: honest manifest fails: %v", err)
+	}
+}
+
+func TestVerifyChunkAndStateNegatives(t *testing.T) {
+	f := newFixture()
+	state := testState(snapshot.DefaultChunkSize+100, 5) // last chunk is 100 bytes
+	m := f.manifest(3, state, 0)
+
+	last := len(m.Chunks) - 1
+	if err := m.VerifyChunk(-1, nil); err == nil {
+		t.Error("negative chunk index accepted")
+	}
+	if err := m.VerifyChunk(len(m.Chunks), nil); err == nil {
+		t.Error("chunk index past the table accepted")
+	}
+	if err := m.VerifyChunk(0, m.Chunk(state, 0)[:10]); err == nil {
+		t.Error("short chunk accepted")
+	}
+	// The final chunk's length is exact, not "at most ChunkSize": a padded
+	// tail must fail even if the extra bytes are zero.
+	padded := append(append([]byte(nil), m.Chunk(state, last)...), 0)
+	if err := m.VerifyChunk(last, padded); err == nil {
+		t.Error("padded final chunk accepted")
+	}
+	flipped := append([]byte(nil), m.Chunk(state, 0)...)
+	flipped[0] ^= 0xff
+	if err := m.VerifyChunk(0, flipped); err == nil {
+		t.Error("content-tampered chunk accepted")
+	}
+
+	if err := m.VerifyState(state[:len(state)-1]); err == nil {
+		t.Error("short state accepted")
+	}
+	tampered := append([]byte(nil), state...)
+	tampered[42] ^= 0xff
+	if err := m.VerifyState(tampered); err == nil {
+		t.Error("content-tampered state accepted")
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	f := newFixture()
+	dir := t.TempDir()
+	arch, err := snapshot.OpenArchive(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[uint64][]byte{}
+	for _, round := range []uint64{4, 8, 12} {
+		st := testState(snapshot.DefaultChunkSize+int(round)*100, byte(round))
+		states[round] = st
+		if err := arch.Put(f.manifest(round, st, 2), st); err != nil {
+			t.Fatalf("put round %d: %v", round, err)
+		}
+	}
+	// Retention: the third Put prunes the oldest checkpoint, files included.
+	if got := arch.Rounds(); len(got) != 2 || got[0] != 8 || got[1] != 12 {
+		t.Fatalf("retained rounds %v, want [8 12]", got)
+	}
+	if arch.LatestRound() != 12 {
+		t.Fatalf("LatestRound() = %d, want 12", arch.LatestRound())
+	}
+	if m := arch.Manifest(4); m != nil {
+		t.Fatal("pruned round still served")
+	}
+	if n := len(dirEntries(t, dir)); n != 4 {
+		t.Fatalf("%d files on disk after pruning, want 4 (2 rounds × manifest+state)", n)
+	}
+
+	// Round-trip: newest manifest, full state, and every chunk — all
+	// verifying against each other.
+	m := arch.Manifest(0)
+	if m == nil || m.Round != 12 {
+		t.Fatalf("Manifest(0) = %+v, want round 12", m)
+	}
+	if err := m.Verify(f.topo, f.suites[0]); err != nil {
+		t.Fatalf("archived manifest fails verification: %v", err)
+	}
+	st, err := arch.State(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyState(st); err != nil {
+		t.Fatalf("archived state fails its manifest: %v", err)
+	}
+	for i := range m.Chunks {
+		chunk, err := arch.ReadChunk(m, i)
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		if err := m.VerifyChunk(i, chunk); err != nil {
+			t.Fatalf("archived chunk %d fails its manifest: %v", i, err)
+		}
+	}
+
+	// Reopen: the directory alone reconstructs the same retained set.
+	arch2, err := snapshot.OpenArchive(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arch2.Rounds(); len(got) != 2 || got[0] != 8 || got[1] != 12 {
+		t.Fatalf("reopened rounds %v, want [8 12]", got)
+	}
+	if m2 := arch2.Manifest(8); m2 == nil || m2.Key() != f.manifest(8, states[8], 2).Key() {
+		t.Fatal("reopened archive serves a different round-8 manifest")
+	}
+}
+
+// TestArchiveIgnoresTornWrites reopens archives bearing every partial shape
+// a crash mid-Put can leave — a garbled manifest, a manifest without its
+// state, an orphaned temp file — and requires each to cost at most its own
+// checkpoint, never the archive.
+func TestArchiveIgnoresTornWrites(t *testing.T) {
+	f := newFixture()
+	dir := t.TempDir()
+	arch, err := snapshot.OpenArchive(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testState(2048, 9)
+	if err := arch.Put(f.manifest(4, good, 1), good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbled manifest bytes alongside a state file.
+	writeRaw(t, dir, "snap-0000000000000008.man", []byte("not a manifest"))
+	writeRaw(t, dir, "snap-0000000000000008.state", testState(64, 1))
+	// Intact manifest whose state file the crash never renamed.
+	orphan := f.manifest(12, good, 1)
+	buf, err := orphan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRaw(t, dir, "snap-000000000000000c.man", buf)
+	// A temp file the crash left behind.
+	writeRaw(t, dir, "snap-0000000000000010.man.tmp-123", []byte("partial"))
+
+	arch2, err := snapshot.OpenArchive(dir, 3)
+	if err != nil {
+		t.Fatalf("archive with torn writes fails to open: %v", err)
+	}
+	if got := arch2.Rounds(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("torn writes leaked into the retained set: %v", got)
+	}
+	m := arch2.Manifest(0)
+	if m == nil || m.Round != 4 {
+		t.Fatalf("surviving checkpoint not served: %+v", m)
+	}
+	st, err := arch2.State(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyState(st); err != nil {
+		t.Fatalf("surviving checkpoint corrupted: %v", err)
+	}
+}
+
+// TestArchivePutRejectsMismatchedState pins Put's last-line binding check: a
+// bug that pairs a manifest with someone else's state must not persist.
+func TestArchivePutRejectsMismatchedState(t *testing.T) {
+	f := newFixture()
+	arch, err := snapshot.OpenArchive(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := testState(1024, 6)
+	if err := arch.Put(f.manifest(5, state, 0), testState(1024, 7)); err == nil {
+		t.Fatal("Put persisted a manifest over state it does not describe")
+	}
+	if arch.LatestRound() != 0 {
+		t.Fatal("rejected Put still advanced the archive")
+	}
+}
+
+func dirEntries(t *testing.T, dir string) []os.DirEntry {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func writeRaw(t *testing.T, dir, name string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package snapshot
+
+import (
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// Wire codec for the snapshot manifest, registered with the message-type
+// registry in internal/types. The Archive persists these exact bytes, so the
+// disk format and the snapshot-resp wire format are one codec.
+
+// EncodeBody implements types.WireMessage.
+func (m *Manifest) EncodeBody(enc *types.Encoder) {
+	enc.U64(m.Round)
+	enc.U64(m.Height)
+	enc.Digest(m.TipPrev)
+	enc.Digest(m.StateHash)
+	enc.U64(m.StateLen)
+	enc.U32(m.ChunkSize)
+	enc.U32(uint32(len(m.Chunks)))
+	for _, d := range m.Chunks {
+		enc.Digest(d)
+	}
+	enc.U32(uint32(len(m.Hist)))
+	for _, d := range m.Hist {
+		enc.Digest(d)
+	}
+	enc.Bool(m.Cert != nil)
+	if m.Cert != nil {
+		m.Cert.EncodeBody(enc)
+	}
+	enc.I32(int32(m.Replica))
+	enc.BytesN(m.Sig)
+}
+
+// DecodeManifestBody reads a Manifest body written by EncodeBody. Malformed
+// input surfaces through the decoder's error, never a panic; allocation is
+// bounded by the decoder's remaining input.
+func DecodeManifestBody(dec *types.Decoder) *Manifest {
+	m := &Manifest{}
+	m.Round = dec.U64()
+	m.Height = dec.U64()
+	m.TipPrev = dec.Digest()
+	m.StateHash = dec.Digest()
+	m.StateLen = dec.U64()
+	m.ChunkSize = dec.U32()
+	if n := dec.Count(32); n > 0 {
+		m.Chunks = make([]types.Digest, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.Chunks = append(m.Chunks, dec.Digest())
+		}
+	}
+	if n := dec.Count(32); n > 0 {
+		m.Hist = make([]types.Digest, 0, n)
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			m.Hist = append(m.Hist, dec.Digest())
+		}
+	}
+	if dec.Bool() {
+		m.Cert = pbft.DecodeCertificateBody(dec)
+	}
+	m.Replica = types.NodeID(dec.I32())
+	m.Sig = dec.BytesN()
+	return m
+}
+
+// Encode returns the manifest's canonical framed wire bytes (type tag +
+// body) — also the Archive's on-disk manifest format.
+func (m *Manifest) Encode() ([]byte, error) { return types.EncodeMessage(m) }
+
+// Decode parses framed manifest bytes produced by Encode, rejecting anything
+// that is not exactly one well-formed manifest.
+func Decode(buf []byte) (*Manifest, error) {
+	msg, err := types.DecodeMessage(buf)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := msg.(*Manifest)
+	if !ok {
+		return nil, types.ErrCodec
+	}
+	return m, nil
+}
+
+// SampleManifest builds a deterministic, structurally plausible manifest for
+// the registry round-trip suite and the fuzz corpus.
+func SampleManifest() *Manifest {
+	batch := types.Batch{Client: types.ClientIDBase, Seq: 4, Txns: []types.Transaction{{Key: 9, Value: 4}}}
+	batch.PrimeDigest()
+	cert := &pbft.Certificate{
+		View: 0, Seq: 4, Digest: batch.Digest(), Batch: batch,
+		Signers: []types.NodeID{4, 5, 6},
+		Sigs:    [][]byte{{1}, {2}, {3}},
+	}
+	state := make([]byte, 3*DefaultChunkSize/2)
+	for i := range state {
+		state[i] = byte(i)
+	}
+	m := Build(4, 2, types.Hash([]byte("tip-prev")), cert, []types.Digest{types.Hash([]byte("h0")), types.Hash([]byte("h1"))}, state)
+	m.Replica = 6
+	m.Sig = []byte("sample-endorsement")
+	return m
+}
+
+func init() {
+	types.RegisterMessage((*Manifest)(nil).MsgType(),
+		func(dec *types.Decoder) types.Message { return DecodeManifestBody(dec) },
+		func() []types.Message {
+			return []types.Message{&Manifest{}, SampleManifest()}
+		})
+}

@@ -20,6 +20,7 @@ import (
 	_ "resilientdb/internal/hotstuff"
 	_ "resilientdb/internal/pbft"
 	_ "resilientdb/internal/proto"
+	_ "resilientdb/internal/snapshot"
 	_ "resilientdb/internal/steward"
 	_ "resilientdb/internal/zyzzyva"
 )

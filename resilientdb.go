@@ -41,6 +41,10 @@ type Block = ledger.Block
 // Ledger is a replica's append-only blockchain.
 type Ledger = ledger.Ledger
 
+// SnapshotStats counts checkpoint-snapshot and ledger-GC activity across the
+// deployment's hosted replicas (the Snapshots field of Stats).
+type SnapshotStats = metrics.SnapshotStats
+
 // Options configures a fabric deployment.
 type Options struct {
 	// Clusters is the number of regions (z ≥ 1).
@@ -86,6 +90,21 @@ type Options struct {
 	// blocks on machine (not process) crash for append throughput. 0
 	// fsyncs every commit. Ignored without DataDir.
 	DiskGroupCommit time.Duration
+	// SnapshotInterval, when non-zero, bounds each replica's history: every
+	// N rounds the replica captures a content-addressed snapshot of its
+	// executed key-value state, publishes it once the round is covered by a
+	// stable checkpoint, and garbage-collects block-store segments wholly
+	// below it. Fresh or far-behind replicas then bootstrap from a verified
+	// peer snapshot plus the block suffix instead of replaying the whole
+	// chain. 0 (the default) disables snapshots and keeps history
+	// unbounded.
+	SnapshotInterval uint64
+	// RetainSegments is how many full block-store segments each replica
+	// keeps below its last durable checkpoint when snapshot GC runs (0: 2).
+	// More segments mean slightly-lagging peers catch up via blocks instead
+	// of state transfer at the cost of disk. Ignored without DataDir and
+	// SnapshotInterval.
+	RetainSegments int
 	// Clients is how many client identities the deployment provisions
 	// signing keys for (DB.Client indices 0..Clients-1). 0 selects 64.
 	// Every process of a multi-process deployment must agree on it: the
@@ -112,7 +131,8 @@ type Options struct {
 	// Adversary, when non-empty, compromises one hosted replica with the
 	// named scripted attack from the byzantine harness (internal/byzantine;
 	// see byzantine.ScriptByName for the names: "equivocate",
-	// "forge-shares", "vc-spam", "tamper-catchup", "suppress"). In-process
+	// "forge-shares", "vc-spam", "tamper-catchup", "tamper-snapshots",
+	// "suppress"). In-process
 	// deployments compromise replica (0,0); multi-process deployments
 	// compromise the first locally hosted replica. The script is armed from
 	// startup. The deployment must tolerate it — f ≥ 1 per cluster — and
@@ -172,6 +192,8 @@ func Open(o Options) (*DB, error) {
 		DataDir:          o.DataDir,
 		DiskSegmentBytes: o.DiskSegmentBytes,
 		DiskGroupCommit:  o.DiskGroupCommit,
+		SnapshotInterval: o.SnapshotInterval,
+		RetainSegments:   o.RetainSegments,
 		Clients:          o.Clients,
 		Mempool: mempool.Config{
 			Capacity:       o.MempoolCapacity,
