@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz bench chaos docs-check
+.PHONY: check build test race vet fmt fuzz bench bench-wan chaos docs-check
 
 check: vet race
 
@@ -25,7 +25,7 @@ fmt:
 # packages whose godoc is the operations/API reference (see ARCHITECTURE.md).
 docs-check: vet
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
-	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/snapshot ./internal/transport ./internal/chaos ./internal/byzantine ./internal/mempool .
+	$(GO) run ./cmd/docscheck ./internal/ledger ./internal/ledger/disk ./internal/snapshot ./internal/transport ./internal/chaos ./internal/byzantine ./internal/mempool ./internal/rpc ./internal/config .
 
 # Short fuzz pass over the wire codec (decode must never panic), the ledger
 # importer (rejected ranges must leave the chain untouched), block-store
@@ -62,3 +62,14 @@ chaos:
 #   go test -run '^$' -bench . ./internal/ledger/disk/
 bench:
 	$(GO) run ./cmd/fabricbench -out BENCH_PR7.json
+
+# WAN benchmark: a geo-emulated deployment — one authenticated TCP transport
+# per replica and per client, with Table 1 (Google Cloud) latency shaped
+# between cluster regions — measuring per-region client commit latency, the
+# injected cross-cluster RTT matrix certificate sharing pays, and throughput
+# versus uniformly injected RTT; writes BENCH_WAN.json. See README
+# "Operations" for the workflow (and the 1-core caveat when reading absolute
+# numbers).
+bench-wan:
+	$(GO) run ./cmd/wanbench -clusters 3 -replicas 4 -duration 3s \
+		-sweep 0ms,50ms,100ms,200ms -out BENCH_WAN.json

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"resilientdb"
+	"resilientdb/internal/config"
 )
 
 func main() {
@@ -97,18 +98,25 @@ func run(args []string, out io.Writer) error {
 	clientRate := fs.Float64("client-rate", 0, "per-client admission rate limit in new requests/s (0: 512; negative disables)")
 	clientBurst := fs.Int("client-burst", 0, "per-client admission burst allowance (0: 512)")
 	replayWindow := fs.Int("replay-window", 0, "executed requests per client each replica remembers for ledger re-replies (0: 32)")
+	rpcListen := fs.String("rpc", "", "serve the HTTP/JSON client front door for this process's first hosted replica on this address")
+	cfgPath := fs.String("config", "", "cluster spec file (JSON): topology, address book, RPC listen addresses, and tuning; explicit flags override it")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	if *cfgPath != "" {
+		if err := applyClusterSpec(fs, *cfgPath, listen, rpcListen, *id, *clientIdx); err != nil {
+			return err
+		}
+	}
 
 	disk := diskOptions{dir: *dataDir, segmentBytes: *segmentBytes, groupCommit: *groupCommit,
 		snapshotInterval: *snapshotInterval, retainSegments: *retainSegments}
 	adm := admissionOptions{clients: *provisionClients, capacity: *mempoolCap, rate: *clientRate, burst: *clientBurst, window: *replayWindow}
 	if *listen == "" {
-		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, adm, *adversary)
+		return runInProcess(out, *clusters, *replicas, *batches, *batchSize, *crash, *wan, *localTimeout, *remoteTimeout, disk, adm, *adversary, *rpcListen)
 	}
 
 	net := &resilientdb.NetOptions{
@@ -152,6 +160,9 @@ func run(args []string, out io.Writer) error {
 		Net:                net,
 		Adversary:          *adversary,
 	}
+	if *id >= 0 {
+		opts.RPCListen = *rpcListen
+	}
 	db, err := resilientdb.Open(opts)
 	if err != nil {
 		return err
@@ -171,10 +182,84 @@ func splitAddrs(s string) []string {
 	return strings.Split(s, ",")
 }
 
+// applyClusterSpec fills flag values from a cluster spec file, so one
+// provisioned JSON file drives every process of a deployment and the
+// command line only selects the role (-id or -client). Flags the user set
+// explicitly win over the spec — override a single process's knob without
+// editing the shared file. The role's own addresses (consensus listen, RPC
+// listen) are looked up from the spec's placement for -id / -client.
+func applyClusterSpec(fs *flag.FlagSet, path string, listen, rpcListen *string, id, clientIdx int) error {
+	spec, err := config.LoadClusterSpec(path)
+	if err != nil {
+		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	apply := func(name, value string) error {
+		if set[name] || value == "" {
+			return nil
+		}
+		return fs.Set(name, value)
+	}
+	nonZero := func(v string) string { // "" skips a knob the spec leaves default
+		if v == "0" || v == "0s" {
+			return ""
+		}
+		return v
+	}
+	steps := [][2]string{
+		{"clusters", fmt.Sprint(spec.Clusters)},
+		{"replicas", fmt.Sprint(spec.ReplicasPerCluster)},
+		{"batch-size", nonZero(fmt.Sprint(spec.BatchSize))},
+		{"local-timeout", nonZero(spec.LocalTimeout.Std().String())},
+		{"remote-timeout", nonZero(spec.RemoteTimeout.Std().String())},
+		{"peers", strings.Join(spec.ReplicaAddrs(), ",")},
+		{"clients", strings.Join(spec.Clients, ",")},
+		{"provision-clients", nonZero(fmt.Sprint(spec.ProvisionClients))},
+		{"mempool-cap", nonZero(fmt.Sprint(spec.Mempool.Capacity))},
+		{"client-rate", nonZero(fmt.Sprint(spec.Mempool.ClientRate))},
+		{"client-burst", nonZero(fmt.Sprint(spec.Mempool.ClientBurst))},
+		{"replay-window", nonZero(fmt.Sprint(spec.Mempool.ReplayWindow))},
+		{"data-dir", spec.Retention.DataDir},
+		{"segment-bytes", nonZero(fmt.Sprint(spec.Retention.SegmentBytes))},
+		{"group-commit", nonZero(spec.Retention.GroupCommit.Std().String())},
+		{"snapshot-interval", nonZero(fmt.Sprint(spec.Retention.SnapshotInterval))},
+		{"retain-segments", nonZero(fmt.Sprint(spec.Retention.RetainSegments))},
+	}
+	for _, s := range steps {
+		if err := apply(s[0], s[1]); err != nil {
+			return fmt.Errorf("cluster spec %s: %s: %w", path, s[0], err)
+		}
+	}
+	switch {
+	case id >= 0:
+		if id >= len(spec.Replicas) {
+			return fmt.Errorf("cluster spec %s places %d replicas, -id %d is not one of them", path, len(spec.Replicas), id)
+		}
+		if !set["listen"] {
+			*listen = spec.Replicas[id].Listen
+		}
+		if !set["rpc"] {
+			*rpcListen = spec.Replicas[id].RPC
+		}
+	case clientIdx >= 0:
+		if clientIdx >= len(spec.Clients) {
+			return fmt.Errorf("cluster spec %s lists %d client addresses, -client %d is not one of them", path, len(spec.Clients), clientIdx)
+		}
+		if !set["listen"] {
+			*listen = spec.Clients[clientIdx]
+		}
+	}
+	return nil
+}
+
 // runReplica serves one replica until a signal (or -serve elapses), then
 // verifies and reports its ledger.
 func runReplica(out io.Writer, db *resilientdb.DB, id, perCluster int, serve time.Duration) error {
 	fmt.Fprintf(out, "replica %d: serving on %s\n", id, db.ListenAddr())
+	if rpc := db.RPCAddr(); rpc != "" {
+		fmt.Fprintf(out, "replica %d: rpc on %s\n", id, rpc)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -252,7 +337,7 @@ type admissionOptions struct {
 // still complete: the deployment tolerates f=1 Byzantine replica per
 // cluster, and the final line reports how many forged messages were
 // rejected.
-func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions, adm admissionOptions, adversary string) error {
+func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, crash, wan bool, localTimeout, remoteTimeout time.Duration, disk diskOptions, adm admissionOptions, adversary, rpcListen string) error {
 	db, err := resilientdb.Open(resilientdb.Options{
 		Clusters:           clusters,
 		ReplicasPerCluster: replicas,
@@ -271,6 +356,7 @@ func runInProcess(out io.Writer, clusters, replicas, batches, batchSize int, cra
 		ClientBurst:        adm.burst,
 		ReplayWindow:       adm.window,
 		Adversary:          adversary,
+		RPCListen:          rpcListen,
 	})
 	if err != nil {
 		return err

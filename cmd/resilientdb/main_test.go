@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -13,6 +14,10 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"resilientdb"
+	"resilientdb/internal/config"
+	"resilientdb/internal/rpc"
 )
 
 // TestMain doubles as the multi-process entry point: when re-executed with
@@ -336,6 +341,113 @@ func TestPrimaryKillAndRejoin(t *testing.T) {
 	if soloHeight, _ := strconv.Atoi(m[2]); soloHeight != heights[0] || m[3] != heads[0] {
 		t.Errorf("solo restart from disk reports height=%s head=%s, cluster agreed on height=%d head=%s",
 			m[2], m[3], heights[0], heads[0])
+	}
+}
+
+// TestConfigFileClusterRPC is the config-driven acceptance run: a 4-replica
+// cluster of separate OS processes started from one JSON spec file — no
+// address flags, each process told only its -id — serving a real client over
+// the RPC front door. The test submits a signed batch over HTTP, polls it to
+// execution, and performs a proof-carrying read whose attestation (replica
+// signature + head-block commit certificate) must verify against nothing but
+// the deployment's public key material. Finally every replica must report
+// the same verified ledger, proving the spec alone wired a working cluster.
+func TestConfigFileClusterRPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run")
+	}
+	const n = 4
+	addrs := reserveAddrs(t, n+1)
+	rpcAddr := addrs[n]
+
+	spec := map[string]any{
+		"clusters":             1,
+		"replicas_per_cluster": n,
+		"batch_size":           5,
+		"local_timeout":        "1s",
+		"remote_timeout":       "1s",
+		"replicas": []map[string]string{
+			{"listen": addrs[0], "rpc": rpcAddr},
+			{"listen": addrs[1]},
+			{"listen": addrs[2]},
+			{"listen": addrs[3]},
+		},
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replicas := make([]*proc, n)
+	for i := range replicas {
+		replicas[i] = startProc(t, "-config", cfgPath, "-id", strconv.Itoa(i))
+	}
+	defer func() {
+		for _, p := range replicas {
+			if p.cmd.ProcessState == nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+
+	// The cluster is up when the primary's RPC front door answers.
+	topo := config.NewTopology(1, n)
+	cl := rpc.NewClient("http://"+rpcAddr, 0, topo)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := cl.Status(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("RPC front door never came up")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	seq, res, err := cl.Submit([]resilientdb.Transaction{{Key: 11, Value: 42}, {Key: 12, Value: 43}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "admitted" {
+		t.Fatalf("submit verdict %q, want admitted", res.Verdict)
+	}
+	if _, err := cl.WaitExecuted(seq, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cl.Read(11)
+	if err != nil {
+		t.Fatalf("proof-carrying read: %v", err)
+	}
+	if !rs.Found || rs.Value != 42 {
+		t.Errorf("read (found=%v, value=%d), want (true, 42)", rs.Found, rs.Value)
+	}
+	if cl.ProofRejects() != 0 {
+		t.Errorf("verified read counted as proof reject")
+	}
+
+	time.Sleep(2 * time.Second) // let the backups execute the round
+	for _, p := range replicas {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	final := regexp.MustCompile(`replica (\d+): ledger height=(\d+) head=([0-9a-f]+) verified`)
+	heads := make([]string, n)
+	for i, p := range replicas {
+		waitProc(t, p, fmt.Sprintf("replica %d", i), 30*time.Second)
+		m := final.FindStringSubmatch(p.out.String())
+		if m == nil {
+			t.Fatalf("replica %d printed no verified ledger line:\n%s", i, p.out.String())
+		}
+		heads[i] = m[3]
+	}
+	for i := 1; i < n; i++ {
+		if heads[i] != heads[0] {
+			t.Errorf("replica %d head %s differs from replica 0's %s", i, heads[i], heads[0])
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+// Command wanbench runs the WAN macro-benchmark: a geo-emulated deployment
+// (per-replica TCP transports with Table 1 latency shaping between cluster
+// regions) measuring per-region commit latency and throughput versus injected
+// RTT, written as JSON for BENCH_WAN.json.
+//
+// Usage:
+//
+//	wanbench [-clusters 2] [-replicas 4] [-batch 10] \
+//	         [-duration 3s] [-warmup 500ms] [-sweep 0ms,50ms,150ms] \
+//	         [-out BENCH_WAN.json]
+//
+// An empty -sweep skips the throughput-vs-RTT curve; -out "" prints the
+// report to stdout only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resilientdb/internal/fabricbench"
+)
+
+func main() {
+	clusters := flag.Int("clusters", 2, "number of clusters z (one per profile region, max 6)")
+	replicas := flag.Int("replicas", 4, "replicas per cluster n")
+	batch := flag.Int("batch", 10, "transactions per batch")
+	duration := flag.Duration("duration", 3*time.Second, "measured window per run")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "unmeasured warmup per run")
+	sweep := flag.String("sweep", "", "comma-separated uniform RTTs for the throughput sweep (e.g. 0ms,50ms,150ms)")
+	out := flag.String("out", "BENCH_WAN.json", "output file (empty: stdout only)")
+	flag.Parse()
+
+	cfg := fabricbench.WANConfig{
+		Clusters:  *clusters,
+		Replicas:  *replicas,
+		BatchSize: *batch,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		Seed:      1,
+	}
+	if *sweep != "" {
+		for _, tok := range strings.Split(*sweep, ",") {
+			rtt, err := time.ParseDuration(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wanbench: bad -sweep entry %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			cfg.SweepRTT = append(cfg.SweepRTT, rtt)
+		}
+	}
+
+	report, err := fabricbench.RunWAN(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wanbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, r := range report.Regions {
+		fmt.Printf("%-10s batches=%-4d txn/s=%-8.1f latency avg=%.1fms p50=%.1fms p95=%.1fms\n",
+			r.Region, r.Batches, r.Throughput, r.LatencyAvgMS, r.LatencyP50MS, r.LatencyP95MS)
+	}
+	for _, p := range report.Sweep {
+		fmt.Printf("sweep rtt=%-6.1fms txn/s=%.1f\n", p.RTTMS, p.Throughput)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wanbench: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "wanbench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		fmt.Println(string(blob))
+	}
+}

@@ -31,6 +31,7 @@ var regionNames = [NumRegions]string{
 	"Oregon", "Iowa", "Montreal", "Belgium", "Taiwan", "Sydney",
 }
 
+// String returns the region's Google Cloud location name (Table 1).
 func (r Region) String() string {
 	if r < 0 || r >= NumRegions {
 		return fmt.Sprintf("region(%d)", int(r))

@@ -109,11 +109,15 @@ type Config struct {
 	Mempool mempool.Config
 	// VerifyWorkers sizes each node's pool of verify goroutines — the
 	// parallel input stage of Figure 9 that performs all cryptographic
-	// checks before a message reaches the worker. 0 selects GOMAXPROCS,
-	// except on a single-CPU host where the stage is disabled (it can only
-	// add overhead without a core to run on). A negative value disables the
-	// stage explicitly, verifying everything inline on the worker (the
-	// serial baseline); a positive value forces that pool size.
+	// checks before a message reaches the worker. 0 auto-sizes the pool by
+	// dividing GOMAXPROCS across the replicas this process hosts, capped at
+	// 8 workers per node; when that leaves a node less than 2 dedicated
+	// cores' worth of parallelism (a single-CPU host, or an in-process
+	// deployment hosting more nodes than cores — the shapes where the pool's
+	// queueing overhead measurably regressed throughput) the stage is
+	// disabled for that deployment. A negative value disables the stage
+	// explicitly, verifying everything inline on the worker (the serial
+	// baseline); a positive value forces that per-node pool size.
 	VerifyWorkers int
 }
 
@@ -165,11 +169,11 @@ func Open(cfg Config) (*Fabric, error) {
 		cfg.RetainSegments = 2
 	}
 	if cfg.VerifyWorkers == 0 {
-		if p := runtime.GOMAXPROCS(0); p > 1 {
-			cfg.VerifyWorkers = p
-		} else {
-			cfg.VerifyWorkers = -1
+		hosted := len(cfg.Local)
+		if cfg.Local == nil {
+			hosted = cfg.Topo.TotalReplicas()
 		}
+		cfg.VerifyWorkers = autoVerifyWorkers(runtime.GOMAXPROCS(0), hosted)
 	}
 	tr := cfg.Transport
 	if tr == nil {
@@ -215,6 +219,30 @@ func Open(cfg Config) (*Fabric, error) {
 		f.nodes[id].start(boots[id])
 	}
 	return f, nil
+}
+
+// autoVerifyWorkers sizes one node's verify pool for Config.VerifyWorkers == 0:
+// the machine's cores are divided across the replicas this process hosts, so
+// an in-process z×n deployment no longer spawns z×n×GOMAXPROCS verifier
+// goroutines fighting over GOMAXPROCS cores — the oversubscription behind the
+// ROADMAP-noted mem/z2n4 regression, where every shape pegged its pool to
+// GOMAXPROCS regardless of how many siblings shared the host. A node left
+// with fewer than 2 cores' worth of parallelism runs serial (-1): without a
+// spare core the pool's hand-off and sequencing overhead is pure loss. The
+// per-node cap of 8 bounds hand-off fan-in on very wide hosts; measured
+// pool speedups flatten well before that (README, Performance).
+func autoVerifyWorkers(procs, hostedNodes int) int {
+	if hostedNodes < 1 {
+		hostedNodes = 1
+	}
+	per := procs / hostedNodes
+	if per < 2 {
+		return -1
+	}
+	if per > 8 {
+		per = 8
+	}
+	return per
 }
 
 // nodeDir is one replica's slice of the deployment's data directory.

@@ -1,0 +1,370 @@
+// This file holds the WAN harness: every replica and every client gets its
+// own real TCP transport (authenticated framing included, exactly as a
+// production deployment runs), and a transport.Faulty wrapper shapes one-way
+// latency per region pair from a config.Profile — Table 1's Google Cloud
+// matrix by default. The harness measures what the paper's figures report for
+// a geo-deployment: per-region client-observed commit latency, the injected
+// cross-cluster RTT matrix that certificate sharing pays, and
+// committed-transaction throughput as a function of uniformly injected RTT.
+
+package fabricbench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/metrics"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// WANConfig parameterizes one WAN benchmark run.
+type WANConfig struct {
+	// Clusters is z (each cluster is pinned to one profile region).
+	Clusters int
+	// Replicas is n per cluster.
+	Replicas int
+	// BatchSize is transactions per submitted batch.
+	BatchSize int
+	// Duration is the measured window per run.
+	Duration time.Duration
+	// Warmup runs unmeasured traffic first, letting connections dial and
+	// pipelines fill.
+	Warmup time.Duration
+	// Profile shapes per-region-pair latency; nil selects the Table 1
+	// Google Cloud profile for z regions.
+	Profile *config.Profile
+	// SweepRTT, when non-empty, additionally measures throughput under a
+	// uniform all-pairs RTT for each listed value (the throughput-vs-RTT
+	// curve).
+	SweepRTT []time.Duration
+	// Seed drives the fault injectors (latency only here, but kept
+	// deterministic).
+	Seed int64
+}
+
+// RegionResult is one region's client-observed outcome.
+type RegionResult struct {
+	// Region is the profile's name for this cluster's region.
+	Region string `json:"region"`
+	// Batches is how many batches this region's client committed.
+	Batches int `json:"batches"`
+	// Throughput is committed transactions per second.
+	Throughput float64 `json:"txn_per_sec"`
+	// LatencyAvgMS / LatencyP50MS / LatencyP95MS summarize the client's
+	// commit latency (submit to f+1 matching confirmations) in
+	// milliseconds.
+	LatencyAvgMS float64 `json:"latency_avg_ms"`
+	// LatencyP50MS is the median commit latency.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	// LatencyP95MS is the 95th-percentile commit latency.
+	LatencyP95MS float64 `json:"latency_p95_ms"`
+}
+
+// SweepPoint is one uniform-RTT throughput measurement.
+type SweepPoint struct {
+	// RTTMS is the injected all-pairs round-trip time in milliseconds.
+	RTTMS float64 `json:"rtt_ms"`
+	// Throughput is committed transactions per second at that RTT.
+	Throughput float64 `json:"txn_per_sec"`
+	// Batches is the total committed batches across regions.
+	Batches int `json:"batches"`
+}
+
+// WANReport is the benchmark's JSON output (BENCH_WAN.json).
+type WANReport struct {
+	// Clusters / Replicas / BatchSize echo the run shape.
+	Clusters int `json:"clusters"`
+	// Replicas is n per cluster.
+	Replicas int `json:"replicas"`
+	// BatchSize is transactions per batch.
+	BatchSize int `json:"batch_size"`
+	// GOMAXPROCS records the host parallelism the run had (latency numbers
+	// from a single-core host carry scheduling noise on top of the injected
+	// WAN delays).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// DurationSec is the measured window length.
+	DurationSec float64 `json:"duration_sec"`
+	// Regions holds the per-region commit results under the shaped profile.
+	Regions []RegionResult `json:"regions"`
+	// CrossShareRTTMS[a][b] is the injected RTT between regions a and b in
+	// milliseconds — the floor any cross-cluster certificate share pays.
+	CrossShareRTTMS [][]float64 `json:"cross_share_rtt_ms"`
+	// Sweep holds the throughput-vs-uniform-RTT curve (empty without
+	// SweepRTT).
+	Sweep []SweepPoint `json:"sweep,omitempty"`
+	// Drops aggregates the transports' loss counters over the profiled run.
+	Drops metrics.DropStats `json:"drops"`
+}
+
+// wanDeployment is one live harness: per-replica fabrics over their own
+// shaped TCP transports, plus one pure-client fabric per cluster.
+type wanDeployment struct {
+	topo    config.Topology
+	fabrics []*fabric.Fabric
+	clients []*fabric.Client
+	shapers []*transport.Faulty
+}
+
+// close tears the whole deployment down.
+func (d *wanDeployment) close() {
+	for _, c := range d.clients {
+		c.Close()
+	}
+	for _, f := range d.fabrics {
+		f.Stop()
+	}
+}
+
+// drops sums loss counters across every process's transport.
+func (d *wanDeployment) drops() metrics.DropStats {
+	var out metrics.DropStats
+	for _, f := range d.fabrics {
+		out.Add(f.Stats())
+	}
+	return out
+}
+
+// openWAN builds the deployment: z×n replica "processes" and z client
+// "processes", each with its own authenticated TCP listener on loopback,
+// every transport wrapped in a Faulty injecting profile.OneWay latency per
+// region pair. In-process it faithfully reproduces the multi-process wiring
+// (one transport per process, real sockets, MAC-authenticated frames); only
+// machine placement is emulated.
+func openWAN(cfg WANConfig, profile *config.Profile) (*wanDeployment, error) {
+	topo := config.NewTopology(cfg.Clusters, cfg.Replicas)
+	region := func(id types.NodeID) int {
+		if id.IsClient() {
+			return int(id-types.ClientIDBase) % cfg.Clusters
+		}
+		return int(topo.ClusterOf(id))
+	}
+	delay := func(from, to types.NodeID) time.Duration {
+		return profile.OneWay(region(from), region(to))
+	}
+
+	// Address book: filled after every listener is bound, read only once
+	// traffic flows (the fabrics are opened after the book is complete).
+	book := map[types.NodeID]string{}
+	lookup := func(id types.NodeID) string { return book[id] }
+
+	d := &wanDeployment{topo: topo}
+	total := topo.TotalReplicas()
+	tcps := make([]*transport.TCP, total+cfg.Clusters)
+	ok := false
+	defer func() {
+		if !ok {
+			d.close()
+			for _, tr := range tcps {
+				if tr != nil {
+					tr.Close()
+				}
+			}
+		}
+	}()
+	for i := range tcps {
+		tcp, err := transport.NewTCP("127.0.0.1:0", lookup)
+		if err != nil {
+			return nil, err
+		}
+		tcp.Auth = crypto.NewFrameMAC(crypto.Real)
+		tcps[i] = tcp
+		if i < total {
+			book[types.NodeID(i)] = tcp.Addr()
+		} else {
+			book[config.ClientID(i-total)] = tcp.Addr()
+		}
+	}
+
+	fabCfg := func(tr transport.Transport, local []types.NodeID) fabric.Config {
+		return fabric.Config{
+			Topo:          topo,
+			BatchSize:     cfg.BatchSize,
+			LocalTimeout:  2 * time.Second,
+			RemoteTimeout: 3 * time.Second,
+			Transport:     tr,
+			Local:         local,
+			Clients:       cfg.Clusters,
+		}
+	}
+	for i := 0; i < total; i++ {
+		shaped := transport.NewFaulty(tcps[i], cfg.Seed+int64(i))
+		shaped.SetDelay(delay)
+		d.shapers = append(d.shapers, shaped)
+		tcps[i] = nil // owned by the fabric now
+		f, err := fabric.Open(fabCfg(shaped, []types.NodeID{types.NodeID(i)}))
+		if err != nil {
+			return nil, fmt.Errorf("fabricbench: replica %d: %w", i, err)
+		}
+		d.fabrics = append(d.fabrics, f)
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		shaped := transport.NewFaulty(tcps[total+c], cfg.Seed+int64(total+c))
+		shaped.SetDelay(delay)
+		d.shapers = append(d.shapers, shaped)
+		tcps[total+c] = nil
+		f, err := fabric.Open(fabCfg(shaped, []types.NodeID{}))
+		if err != nil {
+			return nil, fmt.Errorf("fabricbench: client %d: %w", c, err)
+		}
+		d.fabrics = append(d.fabrics, f)
+		d.clients = append(d.clients, f.NewClient(c))
+	}
+	ok = true
+	return d, nil
+}
+
+// drive loads every region's client for the window and returns per-region
+// committed batch counts and latency samples.
+func (d *wanDeployment) drive(batchSize int, warmup, window time.Duration) ([][]time.Duration, []int) {
+	z := d.topo.Clusters
+	lats := make([][]time.Duration, z)
+	batches := make([]int, z)
+	var wg sync.WaitGroup
+	for c := 0; c < z; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := d.clients[c]
+			key := uint64(c) << 32
+			submit := func() bool {
+				txns := make([]types.Transaction, batchSize)
+				for j := range txns {
+					key++
+					txns[j] = types.Transaction{Key: key, Value: key}
+				}
+				start := time.Now()
+				if err := cl.Submit(txns, 30*time.Second); err != nil {
+					return false
+				}
+				lats[c] = append(lats[c], time.Since(start))
+				return true
+			}
+			for until := time.Now().Add(warmup); time.Now().Before(until); {
+				submit()
+			}
+			lats[c] = lats[c][:0] // warmup samples discarded
+			measured := 0
+			for until := time.Now().Add(window); time.Now().Before(until); {
+				if submit() {
+					measured++
+				}
+			}
+			batches[c] = measured
+		}(c)
+	}
+	wg.Wait()
+	return lats, batches
+}
+
+// percentile returns the p-th percentile of sorted samples (0 < p ≤ 100).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ms converts to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// RunWAN executes the benchmark: one profiled run (per-region latency), then
+// one short throughput run per SweepRTT value. Defaults: 2×4 topology, batch
+// 10, 3 s window, Table 1 profile.
+func RunWAN(cfg WANConfig) (*WANReport, error) {
+	if cfg.Clusters == 0 {
+		cfg.Clusters = 2
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 4
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 10
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 500 * time.Millisecond
+	}
+	profile := cfg.Profile
+	if profile == nil {
+		profile = config.GoogleCloudProfile(cfg.Clusters)
+	}
+
+	report := &WANReport{
+		Clusters: cfg.Clusters, Replicas: cfg.Replicas, BatchSize: cfg.BatchSize,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		DurationSec: cfg.Duration.Seconds(),
+	}
+	report.CrossShareRTTMS = make([][]float64, cfg.Clusters)
+	for a := 0; a < cfg.Clusters; a++ {
+		report.CrossShareRTTMS[a] = make([]float64, cfg.Clusters)
+		for b := 0; b < cfg.Clusters; b++ {
+			report.CrossShareRTTMS[a][b] = ms(profile.RTT[a][b])
+		}
+	}
+
+	// Profiled run: Table 1 (or caller-supplied) shaping.
+	d, err := openWAN(cfg, profile)
+	if err != nil {
+		return nil, err
+	}
+	lats, batches := d.drive(cfg.BatchSize, cfg.Warmup, cfg.Duration)
+	report.Drops = d.drops()
+	d.close()
+	for c := 0; c < cfg.Clusters; c++ {
+		samples := lats[c]
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var sum time.Duration
+		for _, s := range samples {
+			sum += s
+		}
+		res := RegionResult{
+			Region:     profile.Names[c],
+			Batches:    batches[c],
+			Throughput: float64(batches[c]*cfg.BatchSize) / cfg.Duration.Seconds(),
+		}
+		if len(samples) > 0 {
+			res.LatencyAvgMS = ms(sum / time.Duration(len(samples)))
+			res.LatencyP50MS = ms(percentile(samples, 50))
+			res.LatencyP95MS = ms(percentile(samples, 95))
+		}
+		report.Regions = append(report.Regions, res)
+	}
+
+	// Throughput-vs-RTT sweep: uniform shaping, one fresh deployment per
+	// point so no state carries over.
+	for _, rtt := range cfg.SweepRTT {
+		uni := config.UniformProfile(cfg.Clusters, rtt, 1000)
+		d, err := openWAN(cfg, uni)
+		if err != nil {
+			return nil, err
+		}
+		_, counts := d.drive(cfg.BatchSize, cfg.Warmup, cfg.Duration)
+		d.close()
+		total := 0
+		for _, b := range counts {
+			total += b
+		}
+		report.Sweep = append(report.Sweep, SweepPoint{
+			RTTMS:      ms(rtt),
+			Throughput: float64(total*cfg.BatchSize) / cfg.Duration.Seconds(),
+			Batches:    total,
+		})
+	}
+	return report, nil
+}

@@ -279,6 +279,63 @@ func (p *Pool) Precheck(client types.NodeID, seq uint64, digest types.Digest) (v
 	return Admitted, nil, false
 }
 
+// RequestStatus classifies what the pool knows about one (client, seq) when
+// queried out of band — the RPC front door's status endpoint, where a client
+// polls for the fate of a submit instead of waiting on a transport reply.
+type RequestStatus int
+
+// Lookup outcomes.
+const (
+	// StatusUnknown means the pool has no record: never admitted, or
+	// admitted so long ago that both the pending set and the replay window
+	// have forgotten it.
+	StatusUnknown RequestStatus = iota
+	// StatusPending means the request was admitted and is in flight through
+	// consensus.
+	StatusPending
+	// StatusExecuted means the request (or a successor with a higher seq)
+	// has executed.
+	StatusExecuted
+)
+
+// String returns the status's stable lower-case name.
+func (s RequestStatus) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusPending:
+		return "pending"
+	case StatusExecuted:
+		return "executed"
+	}
+	return "invalid"
+}
+
+// Lookup reports what the pool knows about one (client, seq), without
+// mutating any state: no token charge, no per-client state creation, no
+// counter updates — so it is safe to expose to unauthenticated pollers. The
+// returned entry is non-nil only when the execution is still inside the
+// replay window (it is a copy; callers may retain it).
+func (p *Pool) Lookup(client types.NodeID, seq uint64) (RequestStatus, *Executed) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.clients[client]
+	if st == nil {
+		return StatusUnknown, nil
+	}
+	if e := st.lookup(seq); e != nil {
+		cp := *e
+		return StatusExecuted, &cp
+	}
+	if seq <= st.hwm {
+		return StatusExecuted, nil
+	}
+	if _, ok := st.pending[seq]; ok {
+		return StatusPending, nil
+	}
+	return StatusUnknown, nil
+}
+
 // MarkExecuted feeds one execution back into the pool: the pending entry (if
 // any) is released and the outcome is remembered in the client's replay
 // window. Safe to call for batches the pool never admitted (bootstrap

@@ -38,6 +38,11 @@ type Drops struct {
 	// messages the state machine would discard unconditionally (the stage
 	// rejects those before paying for crypto).
 	VerifyReject atomic.Uint64
+	// AuthReject counts transport frames discarded because their
+	// authentication tag did not verify against the claimed sender — a
+	// connection impersonating another node's identity (TCP transport with
+	// frame authentication enabled).
+	AuthReject atomic.Uint64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -50,6 +55,7 @@ func (d *Drops) Snapshot() DropStats {
 		Decode:       d.Decode.Load(),
 		NoRoute:      d.NoRoute.Load(),
 		VerifyReject: d.VerifyReject.Load(),
+		AuthReject:   d.AuthReject.Load(),
 	}
 }
 
@@ -64,6 +70,7 @@ type DropStats struct {
 	Decode       uint64        `json:"decode"`
 	NoRoute      uint64        `json:"no_route"`
 	VerifyReject uint64        `json:"verify_reject"`
+	AuthReject   uint64        `json:"auth_reject"`
 	Mempool      MempoolStats  `json:"mempool"`
 	Snapshots    SnapshotStats `json:"snapshots"`
 }
@@ -77,6 +84,7 @@ func (s *DropStats) Add(o DropStats) {
 	s.Decode += o.Decode
 	s.NoRoute += o.NoRoute
 	s.VerifyReject += o.VerifyReject
+	s.AuthReject += o.AuthReject
 	s.Mempool.Add(o.Mempool)
 	s.Snapshots.Add(o.Snapshots)
 }
@@ -84,7 +92,7 @@ func (s *DropStats) Add(o DropStats) {
 // Total returns the sum of all drop classes. Mempool admission outcomes are
 // not drops and are excluded.
 func (s DropStats) Total() uint64 {
-	return s.Mailbox + s.SendQueue + s.OutQ + s.Encode + s.Decode + s.NoRoute + s.VerifyReject
+	return s.Mailbox + s.SendQueue + s.OutQ + s.Encode + s.Decode + s.NoRoute + s.VerifyReject + s.AuthReject
 }
 
 // MempoolStats counts client-request admission outcomes at one replica's

@@ -1,0 +1,194 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/config"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// Client is a verifying RPC client for one provisioned client identity. It
+// signs every submit with the client's ed25519 key and verifies every
+// proof-carrying read against the deployment's key material
+// (fabric.VerifyReadState) before returning it — a forged or tampered proof
+// is rejected, counted in ProofRejects, and never surfaced as data. Safe
+// for concurrent use.
+type Client struct {
+	base  string
+	hc    *http.Client
+	topo  config.Topology
+	id    types.NodeID
+	suite *crypto.Suite
+
+	nextSeq      atomic.Uint64
+	proofRejects atomic.Uint64
+}
+
+// NewClient builds a client for provisioned client index i (its signing key
+// derives from the deployment's deterministic provisioning, like every
+// other identity) talking to the replica RPC server at base, e.g.
+// "http://127.0.0.1:9000".
+func NewClient(base string, i int, topo config.Topology) *Client {
+	id := config.ClientID(i)
+	dir := crypto.NewDirectory(crypto.Real, append(topo.AllReplicas(), id))
+	return &Client{
+		base:  base,
+		hc:    &http.Client{Timeout: 30 * time.Second},
+		topo:  topo,
+		id:    id,
+		suite: crypto.NewSuite(dir, id, crypto.FreeCosts(), nil),
+	}
+}
+
+// ID returns the client's provisioned node identifier.
+func (c *Client) ID() types.NodeID { return c.id }
+
+// ProofRejects returns how many read proofs failed verification and were
+// discarded.
+func (c *Client) ProofRejects() uint64 { return c.proofRejects.Load() }
+
+// getJSON fetches path (with query) and decodes the JSON response into out.
+func (c *Client) getJSON(path string, query url.Values, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("rpc: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit signs and submits one batch of transactions, consuming the next
+// client sequence number. It returns the assigned sequence number and the
+// server's admission verdict; use WaitExecuted to block until execution.
+func (c *Client) Submit(txns []types.Transaction) (uint64, *SubmitResultJSON, error) {
+	seq := c.nextSeq.Add(1)
+	res, err := c.SubmitSeq(seq, txns)
+	return seq, res, err
+}
+
+// SubmitSeq signs and submits one batch under an explicit sequence number —
+// the retry path (resubmitting the same seq is deduplicated server-side)
+// and the raw material for replay tests.
+func (c *Client) SubmitSeq(seq uint64, txns []types.Transaction) (*SubmitResultJSON, error) {
+	b := types.Batch{Client: c.id, Seq: seq, Txns: txns}
+	b.PrimeDigest()
+	sig := c.suite.Sign(pbft.RequestPayload(&b))
+	body, err := json.Marshal(SubmitJSON{Batch: batchToJSON(&b), Sig: sig})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("rpc: submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	out := &SubmitResultJSON{}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WaitExecuted polls the request-status endpoint until the (client, seq)
+// submit reports executed, or timeout elapses.
+func (c *Client) WaitExecuted(seq uint64, timeout time.Duration) (*RequestStatusJSON, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		q := url.Values{}
+		q.Set("client", fmt.Sprint(int32(c.id)))
+		q.Set("seq", fmt.Sprint(seq))
+		var st RequestStatusJSON
+		if err := c.getJSON("/v1/request", q, &st); err != nil {
+			return nil, err
+		}
+		if st.Status == "executed" {
+			return &st, nil
+		}
+		if time.Now().After(deadline) {
+			return &st, fmt.Errorf("rpc: seq %d not executed within %v (status %s)", seq, timeout, st.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// Status fetches the replica's status card.
+func (c *Client) Status() (*StatusJSON, error) {
+	out := &StatusJSON{}
+	if err := c.getJSON("/v1/status", nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Block fetches the ledger block at the given height and verifies its
+// commit certificate against the deployment's keys before returning it: a
+// block the quorum never certified is rejected.
+func (c *Client) Block(height uint64) (*ledger.Block, error) {
+	q := url.Values{}
+	q.Set("height", fmt.Sprint(height))
+	var in BlockJSON
+	if err := c.getJSON("/v1/block", q, &in); err != nil {
+		return nil, err
+	}
+	blk, err := blockFromJSON(&in)
+	if err != nil {
+		return nil, err
+	}
+	cert, ok := blk.Cert.(*pbft.Certificate)
+	if !ok || cert == nil {
+		return nil, fmt.Errorf("rpc: block %d carries no commit certificate", height)
+	}
+	quorum := c.topo.PerCluster - c.topo.F()
+	if cert.Seq != blk.Round || cert.Digest != blk.BatchDigest ||
+		!cert.Verify(c.suite, c.topo.ClusterMembers(int(blk.Cluster)), quorum) {
+		return nil, fmt.Errorf("rpc: block %d certificate fails verification", height)
+	}
+	return blk, nil
+}
+
+// Read performs a proof-carrying read of one key. The returned attestation
+// has been verified end to end — replica signature and head-block commit
+// certificate — so its Value/Found fields are Byzantine-evident: a lying
+// replica would have had to forge ed25519 signatures. Failed proofs are
+// counted in ProofRejects and returned as errors.
+func (c *Client) Read(key uint64) (*fabric.ReadState, error) {
+	q := url.Values{}
+	q.Set("key", fmt.Sprint(key))
+	var in ReadJSON
+	if err := c.getJSON("/v1/read", q, &in); err != nil {
+		return nil, err
+	}
+	rs, err := readStateFromJSON(&in)
+	if err != nil {
+		c.proofRejects.Add(1)
+		return nil, fmt.Errorf("rpc: malformed read proof: %w", err)
+	}
+	if err := fabric.VerifyReadState(c.suite, c.topo, rs); err != nil {
+		c.proofRejects.Add(1)
+		return nil, err
+	}
+	return rs, nil
+}

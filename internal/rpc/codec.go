@@ -1,0 +1,310 @@
+// Package rpc is the fabric's client-facing front door over HTTP/JSON: each
+// replica runs a small Server exposing signed transaction submission, ledger
+// and status reads, and proof-carrying key reads; Client is the matching
+// verifying client. The server injects submits through the same mempool
+// admission path (Precheck → signature verification → Admit) as
+// transport-delivered requests, so networked clients get identical
+// dedup/replay/rate-limit treatment — the RPC surface adds a doorway, not a
+// bypass.
+//
+// Wire encoding is JSON: digests and hashes travel as lower-case hex
+// strings, signatures as base64 (encoding/json's []byte default). The
+// payloads that matter cryptographically (request signatures, read
+// attestations, commit certificates) are re-encoded canonically with the
+// types.Encoder before verification, so JSON's flexibility never widens
+// what a signature covers.
+package rpc
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"resilientdb/internal/fabric"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/mempool"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// TxnJSON is one key-value write.
+type TxnJSON struct {
+	// Key is the written key.
+	Key uint64 `json:"key"`
+	// Value is the written value.
+	Value uint64 `json:"value"`
+}
+
+// BatchJSON is a client transaction batch.
+type BatchJSON struct {
+	// Client is the submitting client's node ID.
+	Client int32 `json:"client"`
+	// Seq is the client-assigned batch sequence number.
+	Seq uint64 `json:"seq"`
+	// Txns are the batched transactions.
+	Txns []TxnJSON `json:"txns,omitempty"`
+	// NoOp marks a primary-proposed empty round.
+	NoOp bool `json:"no_op,omitempty"`
+}
+
+// SubmitJSON is the body of POST /v1/submit: a signed client batch.
+type SubmitJSON struct {
+	// Batch is the transaction batch being submitted.
+	Batch BatchJSON `json:"batch"`
+	// Sig is the client's ed25519 signature over the batch's canonical
+	// request payload (base64 in JSON).
+	Sig []byte `json:"sig"`
+}
+
+// ExecutedJSON is a replay-window execution record.
+type ExecutedJSON struct {
+	// Seq is the executed batch's client sequence number.
+	Seq uint64 `json:"seq"`
+	// Digest is the executed batch's canonical digest (hex).
+	Digest string `json:"digest"`
+	// TxnCount is the number of transactions the batch carried.
+	TxnCount int `json:"txn_count"`
+}
+
+// SubmitResultJSON is the response to POST /v1/submit.
+type SubmitResultJSON struct {
+	// Verdict is the admission outcome: admitted, duplicate, replayed, or
+	// rate-limited.
+	Verdict string `json:"verdict"`
+	// Executed carries the replay-window record when Verdict is "replayed"
+	// and the original execution is still remembered.
+	Executed *ExecutedJSON `json:"executed,omitempty"`
+}
+
+// RequestStatusJSON is the response to GET /v1/request: the fate of one
+// (client, seq).
+type RequestStatusJSON struct {
+	// Status is unknown, pending, or executed.
+	Status string `json:"status"`
+	// Executed carries the replay-window record when still available.
+	Executed *ExecutedJSON `json:"executed,omitempty"`
+}
+
+// StatusJSON is the response to GET /v1/status: one replica's liveness
+// card.
+type StatusJSON struct {
+	// Replica is the serving replica's node ID.
+	Replica int32 `json:"replica"`
+	// Cluster is the replica's cluster index.
+	Cluster int `json:"cluster"`
+	// Height is the current ledger height.
+	Height uint64 `json:"height"`
+	// Round is the highest executed consensus round.
+	Round uint64 `json:"round"`
+	// Head is the head block hash (hex; zero digest for an empty chain).
+	Head string `json:"head"`
+	// MempoolLen is the number of admitted-but-unexecuted requests.
+	MempoolLen int `json:"mempool_len"`
+}
+
+// CertJSON is a commit certificate: the quorum proof behind a block.
+type CertJSON struct {
+	// View is the PBFT view the certificate was formed in.
+	View uint64 `json:"view"`
+	// Seq is the certified consensus sequence number.
+	Seq uint64 `json:"seq"`
+	// Digest is the certified batch digest (hex).
+	Digest string `json:"digest"`
+	// Batch is the certified batch itself.
+	Batch BatchJSON `json:"batch"`
+	// Signers are the replicas whose commit signatures the certificate
+	// carries.
+	Signers []int32 `json:"signers"`
+	// Sigs are the commit signatures, index-aligned with Signers.
+	Sigs [][]byte `json:"sigs"`
+}
+
+// BlockJSON is one ledger block with its commit certificate.
+type BlockJSON struct {
+	// Height is the block's chain position (starting at 1).
+	Height uint64 `json:"height"`
+	// Round is the consensus round that produced the block.
+	Round uint64 `json:"round"`
+	// Cluster is the cluster whose request the block holds.
+	Cluster int32 `json:"cluster"`
+	// Batch is the executed batch.
+	Batch BatchJSON `json:"batch"`
+	// BatchDigest commits to the batch contents (hex).
+	BatchDigest string `json:"batch_digest"`
+	// CertDigest commits to the commit certificate (hex).
+	CertDigest string `json:"cert_digest"`
+	// Prev is the previous block's hash (hex).
+	Prev string `json:"prev"`
+	// Hash is the block's own hash (hex).
+	Hash string `json:"hash"`
+	// Cert is the commit certificate, when the block carries one.
+	Cert *CertJSON `json:"cert,omitempty"`
+}
+
+// ReadJSON is the response to GET /v1/read: a proof-carrying read
+// attestation (see fabric.ReadState for the proof structure).
+type ReadJSON struct {
+	// Replica is the attesting replica.
+	Replica int32 `json:"replica"`
+	// Key is the key that was read.
+	Key uint64 `json:"key"`
+	// Value is the key's value (zero when absent).
+	Value uint64 `json:"value"`
+	// Found reports whether the key exists.
+	Found bool `json:"found"`
+	// Height is the ledger height at the read.
+	Height uint64 `json:"height"`
+	// Round is the highest executed round at the read.
+	Round uint64 `json:"round"`
+	// StateDigest is the full state-machine digest at the read (hex).
+	StateDigest string `json:"state_digest"`
+	// Applied is the number of transactions applied so far.
+	Applied uint64 `json:"applied"`
+	// Block is the head block with its commit certificate (nil on an empty
+	// chain).
+	Block *BlockJSON `json:"block,omitempty"`
+	// Sig is the replica's signature over the attestation payload (base64).
+	Sig []byte `json:"sig"`
+}
+
+// encDigest renders a digest as lower-case hex.
+func encDigest(d types.Digest) string { return hex.EncodeToString(d[:]) }
+
+// decDigest parses a lower-case hex digest.
+func decDigest(s string) (types.Digest, error) {
+	var d types.Digest
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return d, fmt.Errorf("rpc: bad digest %q: %w", s, err)
+	}
+	if len(b) != len(d) {
+		return d, fmt.Errorf("rpc: digest %q is %d bytes, want %d", s, len(b), len(d))
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+// batchToJSON converts a batch for the wire.
+func batchToJSON(b *types.Batch) BatchJSON {
+	out := BatchJSON{Client: int32(b.Client), Seq: b.Seq, NoOp: b.NoOp}
+	for _, t := range b.Txns {
+		out.Txns = append(out.Txns, TxnJSON{Key: t.Key, Value: t.Value})
+	}
+	return out
+}
+
+// batchFromJSON reconstructs a batch and primes its digest cache (the batch
+// is still private to the caller here, which is the only safe time).
+func batchFromJSON(in *BatchJSON) types.Batch {
+	b := types.Batch{Client: types.NodeID(in.Client), Seq: in.Seq, NoOp: in.NoOp}
+	for _, t := range in.Txns {
+		b.Txns = append(b.Txns, types.Transaction{Key: t.Key, Value: t.Value})
+	}
+	b.PrimeDigest()
+	return b
+}
+
+// executedToJSON converts a replay-window record (nil-safe).
+func executedToJSON(e *mempool.Executed) *ExecutedJSON {
+	if e == nil {
+		return nil
+	}
+	return &ExecutedJSON{Seq: e.Seq, Digest: encDigest(e.Digest), TxnCount: e.TxnCount}
+}
+
+// certToJSON converts a commit certificate for the wire.
+func certToJSON(c *pbft.Certificate) *CertJSON {
+	if c == nil {
+		return nil
+	}
+	out := &CertJSON{View: c.View, Seq: c.Seq, Digest: encDigest(c.Digest),
+		Batch: batchToJSON(&c.Batch), Sigs: c.Sigs}
+	for _, s := range c.Signers {
+		out.Signers = append(out.Signers, int32(s))
+	}
+	return out
+}
+
+// certFromJSON reconstructs a commit certificate.
+func certFromJSON(in *CertJSON) (*pbft.Certificate, error) {
+	if in == nil {
+		return nil, nil
+	}
+	digest, err := decDigest(in.Digest)
+	if err != nil {
+		return nil, err
+	}
+	c := &pbft.Certificate{View: in.View, Seq: in.Seq, Digest: digest,
+		Batch: batchFromJSON(&in.Batch), Sigs: in.Sigs}
+	for _, s := range in.Signers {
+		c.Signers = append(c.Signers, types.NodeID(s))
+	}
+	return c, nil
+}
+
+// blockToJSON converts a ledger block for the wire.
+func blockToJSON(b *ledger.Block) *BlockJSON {
+	if b == nil {
+		return nil
+	}
+	out := &BlockJSON{Height: b.Height, Round: b.Round, Cluster: int32(b.Cluster),
+		Batch:       batchToJSON(&b.Batch),
+		BatchDigest: encDigest(b.BatchDigest), CertDigest: encDigest(b.CertDigest),
+		Prev: encDigest(b.Prev), Hash: encDigest(b.Hash)}
+	if cert, ok := b.Cert.(*pbft.Certificate); ok {
+		out.Cert = certToJSON(cert)
+	}
+	return out
+}
+
+// blockFromJSON reconstructs a ledger block.
+func blockFromJSON(in *BlockJSON) (*ledger.Block, error) {
+	if in == nil {
+		return nil, nil
+	}
+	b := &ledger.Block{Height: in.Height, Round: in.Round,
+		Cluster: types.ClusterID(in.Cluster), Batch: batchFromJSON(&in.Batch)}
+	var err error
+	if b.BatchDigest, err = decDigest(in.BatchDigest); err != nil {
+		return nil, err
+	}
+	if b.CertDigest, err = decDigest(in.CertDigest); err != nil {
+		return nil, err
+	}
+	if b.Prev, err = decDigest(in.Prev); err != nil {
+		return nil, err
+	}
+	if b.Hash, err = decDigest(in.Hash); err != nil {
+		return nil, err
+	}
+	cert, err := certFromJSON(in.Cert)
+	if err != nil {
+		return nil, err
+	}
+	if cert != nil {
+		b.Cert = cert
+	}
+	return b, nil
+}
+
+// readStateToJSON converts a read attestation for the wire.
+func readStateToJSON(rs *fabric.ReadState) *ReadJSON {
+	return &ReadJSON{Replica: int32(rs.Replica), Key: rs.Key, Value: rs.Value,
+		Found: rs.Found, Height: rs.Height, Round: rs.Round,
+		StateDigest: encDigest(rs.StateDigest), Applied: rs.Applied,
+		Block: blockToJSON(rs.Block), Sig: rs.Sig}
+}
+
+// readStateFromJSON reconstructs a read attestation for verification.
+func readStateFromJSON(in *ReadJSON) (*fabric.ReadState, error) {
+	rs := &fabric.ReadState{Replica: types.NodeID(in.Replica), Key: in.Key,
+		Value: in.Value, Found: in.Found, Height: in.Height, Round: in.Round,
+		Applied: in.Applied, Sig: in.Sig}
+	var err error
+	if rs.StateDigest, err = decDigest(in.StateDigest); err != nil {
+		return nil, err
+	}
+	if rs.Block, err = blockFromJSON(in.Block); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pbft"
+	"resilientdb/internal/types"
+)
+
+// newAuthedTCPPair is newTCPPair with frame authentication installed on both
+// ends (as resilientdb.Open does for every multi-process deployment).
+func newAuthedTCPPair(t *testing.T) (a, b *TCP) {
+	t.Helper()
+	a, b, _ = newTCPPair(t)
+	a.Auth = crypto.NewFrameMAC(crypto.Real)
+	b.Auth = crypto.NewFrameMAC(crypto.Real)
+	return a, b
+}
+
+// TestTCPAuthenticatedDelivery checks that MAC-authenticated framing is
+// transparent to honest peers: a real protocol message still arrives decoded
+// and intact, with no drops counted.
+func TestTCPAuthenticatedDelivery(t *testing.T) {
+	a, b := newAuthedTCPPair(t)
+	defer a.Close()
+	defer b.Close()
+	a.Register(1)
+	box := b.Register(2)
+
+	want := &pbft.Prepare{View: 3, Seq: 9, Digest: types.Hash([]byte("d")), Replica: 1, Sig: []byte{1, 2, 3}}
+	a.Send(1, 2, want)
+	select {
+	case env := <-box:
+		got, ok := env.Msg.(*pbft.Prepare)
+		if !ok {
+			t.Fatalf("got %T", env.Msg)
+		}
+		if env.From != 1 || got.View != 3 || got.Seq != 9 || got.Digest != want.Digest {
+			t.Errorf("message mangled in transit: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery across authenticated TCP")
+	}
+	if drops := b.Stats(); drops.AuthReject != 0 || drops.Decode != 0 {
+		t.Errorf("honest traffic counted as drops: %+v", drops)
+	}
+}
+
+// rawFrame encodes one wire frame by hand — the attacker's view of the
+// framing: length prefix, claimed sender, destination, message body, and
+// whatever tag bytes the caller supplies (nil for an unauthenticated frame).
+func rawFrame(t *testing.T, from, to types.NodeID, m types.Message, tag []byte) []byte {
+	t.Helper()
+	enc := types.NewEncoder(256)
+	enc.U32(0)
+	enc.I32(int32(from))
+	enc.I32(int32(to))
+	if err := types.AppendMessage(enc, m); err != nil {
+		t.Fatal(err)
+	}
+	enc.Raw(tag)
+	frame := enc.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return frame
+}
+
+// TestTCPSpoofedIdentityRejected is the regression test for the
+// spoofable-`from` bug: before frame authentication, deliver trusted the
+// wire header, so any connected socket could claim any replica's NodeID. A
+// socket that impersonates replica 1 without holding the (1, 2) pair key
+// must have its frame rejected (counted as an AuthReject drop, never
+// delivered) and its connection closed.
+func TestTCPSpoofedIdentityRejected(t *testing.T) {
+	_, b := newAuthedTCPPair(t)
+	defer b.Close()
+	box := b.Register(2)
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A forged tag (the attacker does not hold replica 1's pair keys).
+	badTag := make([]byte, crypto.FrameTagSize)
+	frame := rawFrame(t, 1, 2, &pbft.CatchupRequest{FromSeq: 5}, badTag)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection must be closed by the receiver (poisoned), and the
+	// frame must never reach the mailbox.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("spoofing connection still open (read err %v, want EOF)", err)
+	}
+	select {
+	case env := <-box:
+		t.Fatalf("spoofed frame delivered: %+v", env)
+	default:
+	}
+	if drops := b.Stats(); drops.AuthReject != 1 {
+		t.Errorf("AuthReject = %d, want 1 (spoofed frame must be counted)", drops.AuthReject)
+	}
+
+	// An unauthenticated frame (no tag at all) fails too: the length check
+	// or the tag verification rejects it, nothing is delivered.
+	conn2, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(rawFrame(t, 1, 2, &pbft.CatchupRequest{FromSeq: 6}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn2.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("tagless connection still open (read err %v, want EOF)", err)
+	}
+	select {
+	case env := <-box:
+		t.Fatalf("tagless frame delivered: %+v", env)
+	default:
+	}
+	if total := b.Stats().Total(); total < 2 {
+		t.Errorf("drop total = %d, want ≥ 2 (every forged frame counted)", total)
+	}
+}
+
+// TestTCPAuthRejectsTamperedSender checks the bound between claimed sender
+// and tag: a frame correctly MAC'd for (3, 2) but rewritten in flight to
+// claim sender 1 must fail verification, because the claimed pair selects
+// the key the tag is checked under.
+func TestTCPAuthRejectsTamperedSender(t *testing.T) {
+	_, b := newAuthedTCPPair(t)
+	defer b.Close()
+	box := b.Register(2)
+
+	mac := crypto.NewFrameMAC(crypto.Real)
+	frame := rawFrame(t, 3, 2, &pbft.CatchupRequest{FromSeq: 7}, nil)
+	tag := mac.Tag(3, 2, frame[4:])
+	frame = append(frame, tag...)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	// Rewrite the claimed sender to replica 1, keeping the valid (3, 2) tag.
+	binary.BigEndian.PutUint32(frame[4:8], uint32(1))
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("tampered-sender connection still open (read err %v, want EOF)", err)
+	}
+	select {
+	case env := <-box:
+		t.Fatalf("tampered-sender frame delivered: %+v", env)
+	default:
+	}
+	if drops := b.Stats(); drops.AuthReject == 0 {
+		t.Error("tampered sender not counted as AuthReject")
+	}
+}
+
+// TestTCPDeadPeerQueueBounded pins the dial-on-demand backoff audit: frames
+// queued against a permanently dead peer must stay bounded in bytes (not
+// just in count — large frames would otherwise pin sendQueueDepth × frame
+// size of pooled memory), and every dropped frame must be counted, not
+// silently discarded.
+func TestTCPDeadPeerQueueBounded(t *testing.T) {
+	// Reserve an address, then kill it: every dial is refused and the peer
+	// writer backs off forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	var addrs sync.Map
+	addrs.Store(types.NodeID(2), dead)
+	book := func(id types.NodeID) string {
+		if v, ok := addrs.Load(id); ok {
+			return v.(string)
+		}
+		return ""
+	}
+	a, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Register(1)
+
+	// ~1 MiB per frame: the byte budget (32 MiB) trips long before the
+	// 4096-frame count bound would.
+	sig := make([]byte, 1<<20)
+	msg := &pbft.Prepare{View: 1, Seq: 1, Replica: 1, Sig: sig}
+	const sends = 64
+	for i := 0; i < sends; i++ {
+		a.Send(1, 2, msg)
+	}
+
+	a.mu.RLock()
+	peer := a.peers[dead]
+	a.mu.RUnlock()
+	if peer == nil {
+		t.Fatal("no peer connection created for dead destination")
+	}
+	queued := peer.queued.Load()
+	if queued > maxQueuedBytes {
+		t.Errorf("queued bytes %d exceed budget %d", queued, maxQueuedBytes)
+	}
+	if queued == 0 {
+		t.Error("nothing queued: the bound rejected everything")
+	}
+	drops := a.Stats().SendQueue
+	if drops == 0 {
+		t.Errorf("no drops counted after %d×1MiB sends against a %d-byte budget", sends, maxQueuedBytes)
+	}
+	// Accounting closes: every frame either sits in the queue or was counted.
+	if int(drops) > sends {
+		t.Errorf("counted %d drops for %d sends", drops, sends)
+	}
+}

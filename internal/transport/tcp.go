@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientdb/internal/metrics"
@@ -31,6 +32,14 @@ type TCP struct {
 	// to a local mailbox or the outgoing queue (emulating a geo-distributed
 	// deployment over loopback). It must be set before the first Send.
 	Latency func(from, to types.NodeID) time.Duration
+	// Auth, if set, appends an authentication tag to every outgoing frame
+	// and verifies the tag of every inbound one against the sender identity
+	// the frame claims, closing the connection on a mismatch (counted as an
+	// AuthReject drop). Without it the wire `from` field is trusted — fine
+	// on a closed loopback bench, spoofable on a shared network. It must be
+	// set before the first Send, and every process of a deployment must
+	// agree on it (authenticated and plaintext framings do not interoperate).
+	Auth FrameAuth
 	// Logf, if set, receives diagnostic messages (dropped frames, decode
 	// failures, reconnects). Optional.
 	Logf func(format string, args ...any)
@@ -57,6 +66,13 @@ const (
 	maxFrame = 64 << 20
 	// sendQueueDepth bounds the per-peer outgoing queue.
 	sendQueueDepth = 4096
+	// maxQueuedBytes bounds the total bytes of frames parked in one peer's
+	// outgoing queue. The queue depth alone bounds only the frame count:
+	// against a permanently dead peer, 4096 queued catch-up responses could
+	// pin gigabytes of pooled encoder memory while the dialer backs off
+	// forever. Beyond this budget frames are dropped (counted) like any
+	// other send-queue overflow.
+	maxQueuedBytes = 32 << 20
 	// maxRetainedRead bounds the reusable per-connection read buffer; the
 	// encode side caps pooled buffers the same way (types.Release).
 	maxRetainedRead = 1 << 20
@@ -165,7 +181,7 @@ func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
 		t.drops.NoRoute.Add(1)
 		return // unknown node: drop, as Mem does
 	}
-	frame, err := encodeFrame(from, to, msg)
+	frame, err := t.encodeFrame(from, to, msg)
 	if err != nil {
 		if lat > 0 {
 			t.timers.Done()
@@ -195,11 +211,12 @@ func (t *TCP) Send(from, to types.NodeID, msg types.Message) {
 }
 
 // encodeFrame builds one wire frame: 4-byte big-endian payload length, then
-// the payload — sender, destination and the tagged message body. The frame
-// lives in a pooled encoder that travels the send queue; whoever consumes the
-// frame (writer loop, or the drop paths) releases it back to the pool, so
-// steady-state sending allocates nothing.
-func encodeFrame(from, to types.NodeID, msg types.Message) (*types.Encoder, error) {
+// the payload — sender, destination and the tagged message body, followed by
+// the authentication tag over those payload bytes when the transport is
+// authenticated. The frame lives in a pooled encoder that travels the send
+// queue; whoever consumes the frame (writer loop, or the drop paths)
+// releases it back to the pool, so steady-state sending allocates nothing.
+func (t *TCP) encodeFrame(from, to types.NodeID, msg types.Message) (*types.Encoder, error) {
 	enc := types.GetEncoder()
 	enc.U32(0) // length, patched below
 	enc.I32(int32(from))
@@ -207,6 +224,12 @@ func encodeFrame(from, to types.NodeID, msg types.Message) (*types.Encoder, erro
 	if err := types.AppendMessage(enc, msg); err != nil {
 		enc.Release()
 		return nil, err
+	}
+	if t.Auth != nil {
+		// The tag covers everything after the length prefix — including the
+		// claimed (from, to) pair, which also selects the MAC key, so a frame
+		// rewritten to claim another sender cannot verify.
+		enc.Raw(t.Auth.Tag(from, to, enc.Bytes()[4:]))
 	}
 	frame := enc.Bytes()
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
@@ -324,7 +347,11 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n < 8 || n > maxFrame {
+		minLen := uint32(8)
+		if t.Auth != nil {
+			minLen += uint32(t.Auth.TagSize())
+		}
+		if n < minLen || n > maxFrame {
 			t.drops.Decode.Add(1)
 			t.logf("transport: poisoned frame length %d from %s", n, conn.RemoteAddr())
 			return
@@ -336,7 +363,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
-		t.deliver(payload, conn)
+		if !t.deliver(payload, conn) {
+			return // authentication failure poisons the connection
+		}
 		if cap(payload) > maxRetainedRead {
 			// An oversized frame (catch-up reply, view-change) grew the
 			// buffer; do not pin that memory for the connection's lifetime.
@@ -346,16 +375,34 @@ func (t *TCP) readLoop(conn net.Conn) {
 }
 
 // deliver decodes one frame payload and hands it to the destination's
-// mailbox. Unknown destinations and undecodable messages are dropped.
-func (t *TCP) deliver(payload []byte, conn net.Conn) {
-	dec := types.NewDecoder(payload)
+// mailbox. Unknown destinations and undecodable messages are dropped. With
+// frame authentication enabled the tag is verified against the claimed
+// (from, to) pair before the message body is even parsed; a mismatch — a
+// connection trying to speak as a node whose pair keys it does not hold —
+// is counted as an AuthReject drop and reported by returning false, which
+// makes the caller close the connection (an honest peer never sends an
+// unauthenticated frame, so nothing legitimate is lost).
+func (t *TCP) deliver(payload []byte, conn net.Conn) bool {
+	body := payload
+	if t.Auth != nil {
+		split := len(payload) - t.Auth.TagSize() // readLoop guaranteed ≥ 8
+		body = payload[:split]
+		from := types.NodeID(int32(binary.BigEndian.Uint32(body[0:4])))
+		to := types.NodeID(int32(binary.BigEndian.Uint32(body[4:8])))
+		if !t.Auth.Verify(from, to, body, payload[split:]) {
+			t.drops.AuthReject.Add(1)
+			t.logf("transport: rejecting frame with unauthenticated sender %v from %s", from, conn.RemoteAddr())
+			return false
+		}
+	}
+	dec := types.NewDecoder(body)
 	from := types.NodeID(dec.I32())
 	to := types.NodeID(dec.I32())
 	msg, err := types.DecodeMessageFrom(dec)
 	if err != nil || dec.Remaining() != 0 {
 		t.drops.Decode.Add(1)
 		t.logf("transport: dropping undecodable frame from %s: %v", conn.RemoteAddr(), err)
-		return
+		return true
 	}
 	t.mu.RLock()
 	box := t.boxes[to]
@@ -363,30 +410,50 @@ func (t *TCP) deliver(payload []byte, conn net.Conn) {
 	if box != nil {
 		box.put(Envelope{From: from, Msg: msg})
 	}
+	return true
 }
 
 // peerConn is the outgoing connection to one remote process: a bounded
 // frame queue drained by a writer goroutine that dials on demand and
-// reconnects with exponential backoff.
+// reconnects with exponential backoff. The queue is bounded twice — by
+// frame count (sendQueueDepth) and by total bytes (maxQueuedBytes) — so a
+// permanently dead peer pins a bounded amount of pooled encoder memory
+// while the dialer backs off, no matter how large the frames are.
 type peerConn struct {
-	t     *TCP
-	dest  string
-	queue chan *types.Encoder
+	t      *TCP
+	dest   string
+	queue  chan *types.Encoder
+	queued atomic.Int64 // bytes held by frames currently in queue
 
 	mu   sync.Mutex
 	conn net.Conn
 }
 
-// enqueue queues one frame without blocking; a full queue drops it (counted)
-// and recycles its buffer.
+// enqueue queues one frame without blocking; a queue full by count or by
+// bytes drops it (counted) and recycles its buffer.
 func (p *peerConn) enqueue(frame *types.Encoder) {
+	size := int64(frame.Len())
+	if p.queued.Add(size) > maxQueuedBytes {
+		p.queued.Add(-size)
+		frame.Release()
+		p.t.drops.SendQueue.Add(1)
+		p.t.logf("transport: send queue to %s over byte budget, dropping frame", p.dest)
+		return
+	}
 	select {
 	case p.queue <- frame:
 	default:
+		p.queued.Add(-size)
 		frame.Release()
 		p.t.drops.SendQueue.Add(1)
 		p.t.logf("transport: send queue to %s full, dropping frame", p.dest)
 	}
+}
+
+// take releases one frame's bytes from the queue budget as it leaves the
+// queue.
+func (p *peerConn) take(frame *types.Encoder) {
+	p.queued.Add(-int64(frame.Len()))
 }
 
 func (p *peerConn) setConn(c net.Conn) {
@@ -447,6 +514,7 @@ func (p *peerConn) writeLoop(conn net.Conn) {
 	for {
 		select {
 		case frame := <-p.queue:
+			p.take(frame)
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 			_, err := bw.Write(frame.Bytes())
 			frame.Release()
@@ -454,6 +522,7 @@ func (p *peerConn) writeLoop(conn net.Conn) {
 			for err == nil {
 				select {
 				case next := <-p.queue:
+					p.take(next)
 					// Re-arm the deadline per frame: under sustained load
 					// this loop runs indefinitely, and a deadline fixed at
 					// batch start would time out a healthy connection.

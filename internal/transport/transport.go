@@ -24,6 +24,23 @@ type Envelope struct {
 	Msg types.Message
 }
 
+// FrameAuth authenticates TCP wire frames. An implementation holds the
+// deployment's pairwise key material (crypto.NewFrameMAC): Tag computes the
+// authentication tag a sender appends to a frame payload, and Verify checks
+// a received frame's tag against the (from, to) pair the payload claims —
+// binding the claimed sender identity to the pair key instead of trusting
+// the wire bytes. Implementations must be safe for concurrent use; every
+// process of a deployment must install the same authenticator (or none).
+type FrameAuth interface {
+	// TagSize returns the fixed tag length in bytes.
+	TagSize() int
+	// Tag computes the tag authenticating payload on the (from, to) channel.
+	Tag(from, to types.NodeID, payload []byte) []byte
+	// Verify reports whether tag authenticates payload on the (from, to)
+	// channel.
+	Verify(from, to types.NodeID, payload, tag []byte) bool
+}
+
 // Transport delivers messages between registered nodes.
 type Transport interface {
 	// Register creates the mailbox for a node and returns its receive

@@ -83,6 +83,11 @@ func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
 // Digest appends a 32-byte digest.
 func (e *Encoder) Digest(d Digest) { e.buf = append(e.buf, d[:]...) }
 
+// Raw appends b verbatim, with no length prefix. Use it for fixed-size
+// trailers whose length is known out of band (e.g. a frame authentication
+// tag); variable-length data belongs in BytesN.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
 // BytesN appends a length-prefixed byte slice.
 func (e *Encoder) BytesN(b []byte) {
 	e.U32(uint32(len(b)))

@@ -24,10 +24,12 @@ import (
 	"resilientdb/internal/byzantine"
 	"resilientdb/internal/config"
 	"resilientdb/internal/core"
+	"resilientdb/internal/crypto"
 	"resilientdb/internal/fabric"
 	"resilientdb/internal/ledger"
 	"resilientdb/internal/mempool"
 	"resilientdb/internal/metrics"
+	"resilientdb/internal/rpc"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -67,10 +69,12 @@ type Options struct {
 	// clusters (default 3 s; it backs off exponentially on repeat).
 	RemoteTimeout time.Duration
 	// VerifyWorkers sizes each replica's parallel verification pool (all
-	// cryptographic checks run there, off the consensus thread). 0 selects
-	// GOMAXPROCS, except on a single-CPU host (GOMAXPROCS=1) where it
-	// disables the pool — without a spare core the stage only adds
-	// overhead. Negative disables the pool explicitly, and a positive
+	// cryptographic checks run there, off the consensus thread). 0
+	// auto-sizes: GOMAXPROCS divided across the replicas this process
+	// hosts, capped at 8 per replica, falling back to serial inline
+	// verification when a replica's share comes to less than 2 cores (a
+	// single-CPU host, or an in-process deployment hosting more replicas
+	// than cores). Negative disables the pool explicitly, and a positive
 	// value forces that pool size; both serial modes verify inline on the
 	// worker.
 	VerifyWorkers int
@@ -126,8 +130,17 @@ type Options struct {
 	// re-executing (0: 32).
 	ReplayWindow int
 	// Net, if non-nil, runs this process as one member of a multi-process
-	// TCP deployment instead of a self-contained in-process fabric.
+	// TCP deployment instead of a self-contained in-process fabric. The
+	// TCP transport always runs with MAC-authenticated framing: every
+	// frame's claimed sender is verified against the pairwise key it
+	// implies, so a connected socket cannot impersonate another replica.
 	Net *NetOptions
+	// RPCListen, when non-empty, serves the HTTP/JSON client front door
+	// (internal/rpc) for this process's first hosted replica on that
+	// address ("host:port"; ":0" picks a port readable via DB.RPCAddr):
+	// signed submits through the mempool admission path, status and
+	// certificate-carrying block reads, and proof-carrying key reads.
+	RPCListen string
 	// Adversary, when non-empty, compromises one hosted replica with the
 	// named scripted attack from the byzantine harness (internal/byzantine;
 	// see byzantine.ScriptByName for the names: "equivocate",
@@ -168,6 +181,7 @@ type DB struct {
 	fab  *fabric.Fabric
 	topo config.Topology
 	tcp  *transport.TCP
+	rpc  *rpc.Server
 }
 
 // Open starts a fabric deployment and returns a handle to it.
@@ -233,6 +247,12 @@ func Open(o Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Authenticated framing is not optional on the real wire: without it
+		// any connected socket could claim any replica's identity in the
+		// frame header (the spoofable-`from` hole). Keys are pairwise,
+		// derived from the same deterministic provisioning as the signing
+		// keys, so every process of the deployment agrees.
+		tcp.Auth = crypto.NewFrameMAC(cfg.Mode)
 		tcp.Latency = latency
 		cfg.Transport = tcp
 		cfg.Local = []types.NodeID{} // default: pure client process
@@ -263,6 +283,22 @@ func Open(o Options) (*DB, error) {
 		return nil, err
 	}
 	db.fab = fab
+	if o.RPCListen != "" {
+		target := topo.ReplicaID(0, 0)
+		if o.Net != nil {
+			if len(cfg.Local) == 0 {
+				fab.Stop()
+				return nil, fmt.Errorf("resilientdb: RPCListen needs a hosted replica (client processes cannot serve RPC)")
+			}
+			target = cfg.Local[0]
+		}
+		srv := rpc.NewServer(fab.Node(target), topo)
+		if _, err := srv.Start(o.RPCListen); err != nil {
+			fab.Stop()
+			return nil, err
+		}
+		db.rpc = srv
+	}
 	return db, nil
 }
 
@@ -362,8 +398,22 @@ func (db *DB) Topology() (clusters, perCluster, f int) {
 // deployment is running.
 func (db *DB) Stats() metrics.DropStats { return db.fab.Stats() }
 
+// RPCAddr returns the bound address of this process's RPC front door, or ""
+// when Options.RPCListen was not set. Useful with RPCListen ":0".
+func (db *DB) RPCAddr() string {
+	if db.rpc != nil {
+		return db.rpc.Addr()
+	}
+	return ""
+}
+
 // Close shuts the deployment down.
-func (db *DB) Close() { db.fab.Stop() }
+func (db *DB) Close() {
+	if db.rpc != nil {
+		db.rpc.Close()
+	}
+	db.fab.Stop()
+}
 
 // Client submits transaction batches to its local cluster.
 type Client struct {
